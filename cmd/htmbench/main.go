@@ -1,0 +1,262 @@
+// Command htmbench regenerates the tables and figures of Nakaike et al.,
+// "Quantitative Comparison of Hardware Transactional Memory for Blue
+// Gene/Q, zEnterprise EC12, Intel Core, and POWER8" (ISCA 2015) on the
+// simulated-HTM substrate.
+//
+// Usage:
+//
+//	htmbench -exp fig2 [-scale sim] [-repeats 2] [-tune] [-csv] [-v]
+//
+// Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
+// fig11, prefetch (the Section 5.1 ablation), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"htmcmp/internal/features"
+	"htmcmp/internal/harness"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+	"htmcmp/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,prefetch,stm,capacity,all")
+	scaleName := flag.String("scale", "sim", "workload scale: test, sim, full")
+	repeats := flag.Int("repeats", 2, "measured runs per point (paper: 4)")
+	tune := flag.Bool("tune", false, "search retry counts per test case as the paper does (slow)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	verbose := flag.Bool("v", false, "log per-point progress to stderr")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	var scale stamp.Scale
+	switch *scaleName {
+	case "test":
+		scale = stamp.ScaleTest
+	case "sim":
+		scale = stamp.ScaleSim
+	case "full":
+		scale = stamp.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "htmbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	opts := harness.Options{
+		Scale:   scale,
+		Repeats: *repeats,
+		Tune:    *tune,
+		Seed:    *seed,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	emit := func(t harness.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			emit(harness.Table1())
+		case "fig2", "fig3":
+			f2, f3, err := harness.Fig2And3(opts)
+			if err != nil {
+				return err
+			}
+			if name == "fig2" {
+				emit(f2)
+			} else {
+				emit(f3)
+			}
+		case "fig2+3":
+			f2, f3, err := harness.Fig2And3(opts)
+			if err != nil {
+				return err
+			}
+			emit(f2)
+			emit(f3)
+		case "fig4":
+			t, err := harness.Fig4(opts)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "fig5":
+			t, err := harness.Fig5(opts)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "fig6":
+			t, err := fig6Table(opts)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "fig7":
+			t, err := harness.Fig7(opts)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "fig9":
+			t, err := fig9Table(opts)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "fig10", "fig11":
+			t10, t11, err := figFootprintTables(opts)
+			if err != nil {
+				return err
+			}
+			if name == "fig10" {
+				emit(t10)
+			} else {
+				emit(t11)
+			}
+		case "prefetch":
+			t, err := harness.PrefetchAblation(opts)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "stm":
+			t, err := harness.STMComparison(opts)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		case "capacity":
+			for _, bench := range []string{"intruder", "vacation-high", "yada"} {
+				t, err := harness.CapacitySweep(opts, bench)
+				if err != nil {
+					return err
+				}
+				emit(t)
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig2+3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "prefetch", "stm", "capacity"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// fig6Table renders the Figure 6 CLQ experiment.
+func fig6Table(opts harness.Options) (harness.Table, error) {
+	logf(opts.Log, "fig6: zEC12 constrained transactions on ConcurrentLinkedQueue")
+	results, err := features.RunCLQ(features.CLQOptions{Seed: opts.Seed})
+	if err != nil {
+		return harness.Table{}, err
+	}
+	t := harness.Table{
+		Title:  "Figure 6: relative execution time vs lock-free ConcurrentLinkedQueue (zEC12)",
+		Note:   "lower is better; baseline is the lock-free CAS implementation at each thread count",
+		Header: []string{"threads", "LockFree", "NoRetryTM", "OptRetryTM", "ConstrainedTM"},
+	}
+	byThreads := map[int]map[features.CLQMode]float64{}
+	var order []int
+	for _, r := range results {
+		if _, ok := byThreads[r.Threads]; !ok {
+			byThreads[r.Threads] = map[features.CLQMode]float64{}
+			order = append(order, r.Threads)
+		}
+		byThreads[r.Threads][r.Mode] = r.Relative
+	}
+	for _, n := range order {
+		m := byThreads[n]
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", m[features.CLQLockFree]),
+			fmt.Sprintf("%.2f", m[features.CLQNoRetryTM]),
+			fmt.Sprintf("%.2f", m[features.CLQOptRetryTM]),
+			fmt.Sprintf("%.2f", m[features.CLQConstrainedTM]))
+	}
+	return t, nil
+}
+
+// fig9Table renders the Figure 9 TLS experiment.
+func fig9Table(opts harness.Options) (harness.Table, error) {
+	logf(opts.Log, "fig9: POWER8 TLS with and without suspend/resume")
+	results, err := features.RunTLS(features.TLSOptions{Seed: opts.Seed})
+	if err != nil {
+		return harness.Table{}, err
+	}
+	t := harness.Table{
+		Title:  "Figure 9: TLS speed-up over sequential on POWER8",
+		Header: []string{"kernel", "suspend/resume", "threads", "speedup", "abort%"},
+	}
+	for _, r := range results {
+		sr := "without"
+		if r.SuspendResume {
+			sr = "with"
+		}
+		t.AddRow(r.Kernel.String(), sr, fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.2f", r.Speedup), fmt.Sprintf("%.1f", r.AbortRatio))
+	}
+	return t, nil
+}
+
+// figFootprintTables renders Figures 10 and 11.
+func figFootprintTables(opts harness.Options) (t10, t11 harness.Table, err error) {
+	logf(opts.Log, "fig10/11: transaction footprint traces")
+	fps, err := trace.CollectAll(trace.Options{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return t10, t11, err
+	}
+	t10 = harness.Table{
+		Title:  "Figure 10: 90-percentile transactional-load size vs capacity",
+		Note:   "abort ratios for the same pairs appear in Figure 3; '>' marks sizes exceeding the platform's capacity",
+		Header: []string{"benchmark", "platform", "P90 load KB", "max KB", "capacity KB", "over?"},
+	}
+	t11 = harness.Table{
+		Title:  "Figure 11: 90-percentile transactional-store size vs capacity",
+		Header: []string{"benchmark", "platform", "P90 store KB", "max KB", "capacity KB", "over?"},
+	}
+	for _, fp := range fps {
+		spec := platform.New(fp.Platform)
+		mark := func(over bool) string {
+			if over {
+				return ">"
+			}
+			return ""
+		}
+		t10.AddRow(fp.Benchmark, fp.Platform.Short(),
+			fmt.Sprintf("%.2f", fp.P90LoadKB), fmt.Sprintf("%.2f", fp.MaxLoadKB),
+			fmt.Sprintf("%.0f", float64(spec.LoadCapacity)/1024), mark(fp.ExceedsLoadCap))
+		t11.AddRow(fp.Benchmark, fp.Platform.Short(),
+			fmt.Sprintf("%.2f", fp.P90StoreKB), fmt.Sprintf("%.2f", fp.MaxStoreKB),
+			fmt.Sprintf("%.0f", float64(spec.StoreCapacity)/1024), mark(fp.ExceedsStoreCap))
+	}
+	return t10, t11, nil
+}
+
+func logf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		if !strings.HasSuffix(format, "\n") {
+			format += "\n"
+		}
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,134 @@
+// Command htmtrace analyses transaction behaviour: per-transaction footprint
+// distributions (the data behind Figures 10 and 11), and optionally the
+// conflict hot spots of a parallel run.
+//
+// Usage:
+//
+//	htmtrace -bench yada -platform zec12           # footprint distribution
+//	htmtrace -bench intruder -platform zec12 -conflicts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"htmcmp/internal/htm"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+	"htmcmp/internal/tm"
+	"htmcmp/internal/trace"
+)
+
+func main() {
+	platName := flag.String("platform", "zec12", "platform: bgq, zec12, intel, power8")
+	bench := flag.String("bench", "vacation-low", "STAMP benchmark name")
+	scaleName := flag.String("scale", "sim", "workload scale: test, sim, full")
+	conflicts := flag.Bool("conflicts", false, "run 4 threads and report conflict hot lines instead of footprints")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	var kind platform.Kind
+	switch *platName {
+	case "bgq", "bg":
+		kind = platform.BlueGeneQ
+	case "zec12", "z12":
+		kind = platform.ZEC12
+	case "intel", "ic":
+		kind = platform.IntelCore
+	case "power8", "p8":
+		kind = platform.POWER8
+	default:
+		fmt.Fprintf(os.Stderr, "htmtrace: unknown platform %q\n", *platName)
+		os.Exit(2)
+	}
+	var scale stamp.Scale
+	switch *scaleName {
+	case "test":
+		scale = stamp.ScaleTest
+	case "sim":
+		scale = stamp.ScaleSim
+	case "full":
+		scale = stamp.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "htmtrace: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if *conflicts {
+		reportConflicts(kind, *bench, scale, *seed)
+		return
+	}
+
+	fp, err := trace.Collect(*bench, kind, trace.Options{Scale: scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htmtrace:", err)
+		os.Exit(1)
+	}
+	spec := platform.New(kind)
+	fmt.Printf("%s on %s: %d committed transactions\n\n", *bench, kind, fp.Transactions)
+	fmt.Printf("  90-pct load footprint:  %8.2f KB (capacity %d KB)%s\n",
+		fp.P90LoadKB, spec.LoadCapacity/1024, overMark(fp.ExceedsLoadCap))
+	fmt.Printf("  90-pct store footprint: %8.2f KB (capacity %d KB)%s\n",
+		fp.P90StoreKB, spec.StoreCapacity/1024, overMark(fp.ExceedsStoreCap))
+	fmt.Printf("  max load footprint:     %8.2f KB\n", fp.MaxLoadKB)
+	fmt.Printf("  max store footprint:    %8.2f KB\n", fp.MaxStoreKB)
+}
+
+func overMark(over bool) string {
+	if over {
+		return "  << EXCEEDS CAPACITY"
+	}
+	return ""
+}
+
+// reportConflicts runs the benchmark with 4 threads and a conflict sampler
+// attached and prints the hottest conflict-detection lines.
+func reportConflicts(kind platform.Kind, bench string, scale stamp.Scale, seed uint64) {
+	counts := map[uint32]int{}
+	e := htm.New(platform.New(kind), htm.Config{
+		Threads: 4, SpaceSize: 96 << 20, Seed: seed, Virtual: true, CostScale: 1,
+		ConflictSampler: func(line uint32, victim int) { counts[line]++ },
+	})
+	b, err := stamp.New(bench, stamp.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htmtrace:", err)
+		os.Exit(1)
+	}
+	b.Setup(e.Thread(0))
+	lock := tm.NewGlobalLock(e)
+	runners := make([]stamp.Runner, 4)
+	for i := range runners {
+		runners[i] = stamp.TMRunner{X: tm.NewExecutor(e.Thread(i), lock, tm.DefaultPolicy(kind))}
+	}
+	b.Run(runners)
+	if err := b.Validate(e.Thread(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "htmtrace: validation:", err)
+		os.Exit(1)
+	}
+
+	type lc struct {
+		line uint32
+		n    int
+	}
+	var ls []lc
+	total := 0
+	for l, n := range counts {
+		ls = append(ls, lc{l, n})
+		total += n
+	}
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].n != ls[j].n {
+			return ls[i].n > ls[j].n
+		}
+		return ls[i].line < ls[j].line
+	})
+	fmt.Printf("%s on %s, 4 threads: %d conflicts across %d lines\n\n", bench, kind, total, len(ls))
+	fmt.Printf("%-12s %-12s %-10s %s\n", "line", "address", "conflicts", "share")
+	for i := 0; i < 15 && i < len(ls); i++ {
+		fmt.Printf("%-12d %#-12x %-10d %.1f%%\n",
+			ls[i].line, uint64(ls[i].line)*uint64(e.LineSize()), ls[i].n,
+			100*float64(ls[i].n)/float64(total))
+	}
+}

@@ -1,0 +1,136 @@
+// Command htmtune explores the transaction-retry parameter space for one
+// (platform, benchmark) pair, the way the paper tunes "the parameter values
+// for each test case" (Section 5.1). It prints every candidate's speed-up
+// and the winning configuration.
+//
+// Usage:
+//
+//	htmtune -platform zec12 -bench vacation-low [-threads 4] [-scale sim]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"htmcmp/internal/harness"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+	"htmcmp/internal/tm"
+)
+
+func parsePlatform(s string) (platform.Kind, error) {
+	switch s {
+	case "bgq", "bluegene", "bluegeneq", "bg":
+		return platform.BlueGeneQ, nil
+	case "zec12", "z12", "z":
+		return platform.ZEC12, nil
+	case "intel", "ic", "core":
+		return platform.IntelCore, nil
+	case "power8", "p8":
+		return platform.POWER8, nil
+	}
+	return 0, fmt.Errorf("unknown platform %q (bgq, zec12, intel, power8)", s)
+}
+
+func parseScale(s string) (stamp.Scale, error) {
+	switch s {
+	case "test":
+		return stamp.ScaleTest, nil
+	case "sim":
+		return stamp.ScaleSim, nil
+	case "full":
+		return stamp.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (test, sim, full)", s)
+}
+
+func main() {
+	platName := flag.String("platform", "zec12", "platform: bgq, zec12, intel, power8")
+	bench := flag.String("bench", "vacation-low", "STAMP benchmark name")
+	threads := flag.Int("threads", 4, "thread count")
+	scaleName := flag.String("scale", "sim", "workload scale: test, sim, full")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	kind, err := parsePlatform(*platName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htmtune:", err)
+		os.Exit(2)
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htmtune:", err)
+		os.Exit(2)
+	}
+
+	base := harness.RunSpec{
+		Platform:  kind,
+		Benchmark: *bench,
+		Threads:   *threads,
+		Scale:     scale,
+		Seed:      *seed,
+		Repeats:   1,
+	}
+
+	fmt.Printf("tuning %s on %s with %d threads (%s scale)\n\n", *bench, kind, *threads, scale)
+
+	// Show the candidate grid explicitly (Tune evaluates the same grid but
+	// reports only the winner; the exploration itself is informative).
+	type cand struct {
+		label string
+		spec  harness.RunSpec
+	}
+	var cands []cand
+	if kind == platform.BlueGeneQ {
+		for _, mode := range []platform.BGQMode{platform.ShortRunning, platform.LongRunning} {
+			for _, retries := range []int{4, 16} {
+				pol := tm.DefaultPolicy(kind)
+				pol.TransientRetry = retries
+				pol.LazySubscription = mode == platform.LongRunning
+				s := base
+				s.Policy = &pol
+				s.Mode = mode
+				cands = append(cands, cand{
+					label: fmt.Sprintf("%v retries=%d", mode, retries),
+					spec:  s,
+				})
+			}
+		}
+	} else {
+		for _, pol := range []tm.Policy{
+			{LockRetry: 2, PersistentRetry: 1, TransientRetry: 4},
+			{LockRetry: 4, PersistentRetry: 1, TransientRetry: 16},
+			{LockRetry: 8, PersistentRetry: 2, TransientRetry: 8},
+			{LockRetry: 16, PersistentRetry: 2, TransientRetry: 32},
+			{LockRetry: 4, PersistentRetry: 8, TransientRetry: 16},
+		} {
+			pol := pol
+			s := base
+			s.Policy = &pol
+			cands = append(cands, cand{
+				label: fmt.Sprintf("lock=%d persistent=%d transient=%d",
+					pol.LockRetry, pol.PersistentRetry, pol.TransientRetry),
+				spec: s,
+			})
+		}
+	}
+
+	bestIdx, bestSpeed := -1, 0.0
+	for i, c := range cands {
+		res, err := harness.Run(c.spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "htmtune:", err)
+			os.Exit(1)
+		}
+		marker := " "
+		if res.Speedup > bestSpeed {
+			bestSpeed = res.Speedup
+			bestIdx = i
+			marker = "*"
+		}
+		fmt.Printf("%s %-40s speedup %.2f  abort %.1f%%  serial %.1f%%\n",
+			marker, c.label, res.Speedup, res.AbortRatio, res.SerializationRatio)
+	}
+	fmt.Printf("\nbest: %s (speedup %.2f)\n", cands[bestIdx].label, bestSpeed)
+}

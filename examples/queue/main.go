@@ -1,0 +1,43 @@
+// Queue: the paper's Section 6.1 experiment in miniature — a Michael–Scott
+// concurrent linked queue on the zEC12 model, comparing the lock-free CAS
+// implementation against normal transactions and constrained transactions.
+//
+//	go run ./examples/queue
+package main
+
+import (
+	"fmt"
+
+	"htmcmp/internal/features"
+)
+
+func main() {
+	fmt.Println("ConcurrentLinkedQueue on zEC12: execution time relative to lock-free")
+	fmt.Println("(Figure 6; lower is better, 1.00 = the lock-free CAS baseline)")
+	fmt.Println()
+	results, err := features.RunCLQ(features.CLQOptions{
+		OpsPerThread: 2000,
+		Threads:      []int{1, 2, 4, 8},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%-8s %-10s %-10s %-12s %s\n", "threads", "LockFree", "NoRetryTM", "OptRetryTM", "ConstrainedTM")
+	row := map[int][]string{}
+	var order []int
+	for _, r := range results {
+		if _, seen := row[r.Threads]; !seen {
+			order = append(order, r.Threads)
+		}
+		row[r.Threads] = append(row[r.Threads], fmt.Sprintf("%.2f", r.Relative))
+	}
+	for _, n := range order {
+		fmt.Printf("%-8d %-10s %-10s %-12s %s\n", n, row[n][0], row[n][1], row[n][2], row[n][3])
+	}
+	fmt.Println()
+	fmt.Println("Single-threaded, transactions beat the CAS dance (shorter path);")
+	fmt.Println("under contention the lock-free code wins, and constrained")
+	fmt.Println("transactions track the tuned-retry variant without any tuning —")
+	fmt.Println("the paper's Section 6.1 conclusion.")
+}

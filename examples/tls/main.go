@@ -1,0 +1,39 @@
+// TLS: thread-level speculation on the POWER8 model (the paper's Section
+// 6.3 / Figure 9) — ordered loop parallelisation with and without the
+// suspend/resume instructions.
+//
+//	go run ./examples/tls
+package main
+
+import (
+	"fmt"
+
+	"htmcmp/internal/features"
+)
+
+func main() {
+	fmt.Println("POWER8 thread-level speculation: speed-up over sequential (Figure 9)")
+	fmt.Println()
+	results, err := features.RunTLS(features.TLSOptions{
+		Iterations: 1024,
+		Threads:    []int{1, 2, 4, 6},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%-12s %-16s %-8s %-9s %s\n", "kernel", "suspend/resume", "threads", "speedup", "abort%")
+	for _, r := range results {
+		sr := "without"
+		if r.SuspendResume {
+			sr = "with"
+		}
+		fmt.Printf("%-12s %-16s %-8d %-9.2f %.1f\n",
+			r.Kernel, sr, r.Threads, r.Speedup, r.AbortRatio)
+	}
+	fmt.Println()
+	fmt.Println("Without suspend/resume the commit-order variable sits in every")
+	fmt.Println("speculative transaction's read set, so the predecessor's ordering")
+	fmt.Println("store aborts all successors; suspending around the ordering wait")
+	fmt.Println("leaves only true data conflicts (the milc gauge-link updates).")
+}

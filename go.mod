@@ -1,0 +1,3 @@
+module htmcmp
+
+go 1.22

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"htmcmp/internal/stamp"
+)
+
+func TestFig2And3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	opts := Options{Scale: stamp.ScaleTest, Repeats: 1}
+	fig2, fig3, err := Fig2And3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 benchmarks + geomean row; 1 name column + 4 platforms × 2 cells.
+	if len(fig2.Rows) != 11 {
+		t.Errorf("fig2 rows = %d, want 11", len(fig2.Rows))
+	}
+	for _, row := range fig2.Rows {
+		if len(row) != 9 {
+			t.Errorf("fig2 row width = %d, want 9: %v", len(row), row)
+		}
+	}
+	if fig2.Rows[10][0] != "geomean" {
+		t.Errorf("last fig2 row = %q", fig2.Rows[10][0])
+	}
+	// fig3: one row per benchmark × platform.
+	if len(fig3.Rows) != 40 {
+		t.Errorf("fig3 rows = %d, want 40", len(fig3.Rows))
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	tb, err := Fig4(Options{Scale: stamp.ScaleTest, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 modified benchmarks × 4 platforms + 4 geomean rows.
+	if len(tb.Rows) != 6*4+4 {
+		t.Errorf("fig4 rows = %d, want 28", len(tb.Rows))
+	}
+}
+
+func TestFig7Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	tb, err := Fig7(Options{Scale: stamp.ScaleTest, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 11 { // 10 benchmarks + geomean
+		t.Errorf("fig7 rows = %d, want 11", len(tb.Rows))
+	}
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if !strings.HasPrefix(sb.String(), "benchmark,RTM,HLE,HLE/RTM") {
+		t.Errorf("fig7 CSV header: %q", strings.SplitN(sb.String(), "\n", 2)[0])
+	}
+}
+
+func TestSTMComparisonStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	tb, err := STMComparison(Options{Scale: stamp.ScaleTest, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 11 {
+		t.Errorf("stm rows = %d, want 11", len(tb.Rows))
+	}
+}
+
+func TestBGQDefaultModes(t *testing.T) {
+	long := map[string]bool{"labyrinth": true, "yada": true, "bayes": true}
+	for _, bench := range stamp.Names() {
+		got := bgqDefaultMode(bench)
+		if long[bench] != (got.String() == "long-running") {
+			t.Errorf("%s default BG/Q mode = %v", bench, got)
+		}
+	}
+}

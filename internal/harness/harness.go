@@ -1,0 +1,259 @@
+// Package harness runs the paper's experiments: it assembles engines,
+// runtimes and benchmarks into measured runs, tunes the per-(platform,
+// benchmark) retry counts the way Section 5 does, and renders each table and
+// figure of the evaluation as text/CSV.
+package harness
+
+import (
+	"fmt"
+
+	"htmcmp/internal/htm"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+	"htmcmp/internal/stats"
+	"htmcmp/internal/tm"
+)
+
+// RunSpec describes one measured configuration: a benchmark on a platform
+// model with a thread count and policy.
+type RunSpec struct {
+	Platform  platform.Kind
+	Benchmark string
+	Threads   int
+	Scale     stamp.Scale
+	Variant   stamp.Variant
+	Seed      uint64
+	// Policy is the retry policy; zero means DefaultPolicy(Platform).
+	Policy *tm.Policy
+	// Mode is Blue Gene/Q's running mode.
+	Mode platform.BGQMode
+	// CostScale scales injected platform overheads (default 1).
+	CostScale float64
+	// Repeats is how many measured runs to average (paper: 4).
+	Repeats int
+	// UseHLE runs critical sections through hardware lock elision instead
+	// of RTM (Figure 7; Intel only).
+	UseHLE bool
+	// UseSTM runs critical sections as NOrec software transactions instead
+	// of HTM (the STM-overhead comparison of the paper's introduction).
+	UseSTM bool
+	// DisablePrefetch is the Section 5.1 hardware-prefetch ablation.
+	DisablePrefetch bool
+	// DisableSMTSharing is the Section 7 SMT ablation.
+	DisableSMTSharing bool
+	// ResponderWins flips the conflict-resolution policy (ablation).
+	ResponderWins bool
+	// ChunkStep1 overrides genome's chunking (tuned per platform).
+	ChunkStep1 int
+	// TMCAMEntries overrides POWER8's 64-entry TMCAM (the Section 7
+	// capacity-sweep extension); zero keeps the real hardware value.
+	TMCAMEntries int
+	// SpaceSize overrides the arena size (bytes).
+	SpaceSize int
+}
+
+func (s RunSpec) withDefaults() RunSpec {
+	if s.Repeats <= 0 {
+		s.Repeats = 2
+	}
+	if s.CostScale == 0 {
+		s.CostScale = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.SpaceSize == 0 {
+		s.SpaceSize = 64 << 20
+	}
+	if s.Threads <= 0 {
+		s.Threads = 4
+	}
+	return s
+}
+
+// platformSpec builds the (possibly capacity-overridden) platform model.
+func (s RunSpec) platformSpec() *platform.Spec {
+	spec := platform.New(s.Platform)
+	if s.TMCAMEntries > 0 && s.Platform == platform.POWER8 {
+		spec.LoadCapacity = s.TMCAMEntries * spec.LineSize
+		spec.StoreCapacity = spec.LoadCapacity
+	}
+	return spec
+}
+
+func (s RunSpec) policy() tm.Policy {
+	if s.Policy != nil {
+		return *s.Policy
+	}
+	p := tm.DefaultPolicy(s.Platform)
+	if s.Platform == platform.BlueGeneQ && s.Mode == platform.LongRunning {
+		p.LazySubscription = true
+	}
+	return p
+}
+
+// Result is the outcome of a measured RunSpec.
+type Result struct {
+	Spec RunSpec
+	// SeqSeconds and ParSeconds are the mean sequential and parallel
+	// region-of-interest durations in virtual cycles (the unit cancels in
+	// Speedup).
+	SeqSeconds float64
+	ParSeconds float64
+	// Speedup is the paper's metric: sequential non-HTM time over
+	// transactional time on the same platform model.
+	Speedup float64
+	// SpeedupCI is the 95% confidence half-width over the repeats.
+	SpeedupCI float64
+	// AbortRatio is the percentage of transaction attempts that aborted.
+	AbortRatio float64
+	// Breakdown splits the abort ratio into Figure 3's categories.
+	Breakdown [htm.NumCategories]float64
+	// SerializationRatio is the percentage of commits taken under the
+	// global lock.
+	SerializationRatio float64
+	// TM aggregates the runtime counters of the parallel runs.
+	TM tm.Stats
+	// Engine aggregates the engine counters of the parallel runs.
+	Engine htm.Stats
+}
+
+func (s RunSpec) engineConfig(threads int, seed uint64) htm.Config {
+	return htm.Config{
+		Threads:           threads,
+		SpaceSize:         s.SpaceSize,
+		Seed:              seed,
+		Mode:              s.Mode,
+		DisablePrefetch:   s.DisablePrefetch,
+		DisableSMTSharing: s.DisableSMTSharing,
+		ResponderWins:     s.ResponderWins,
+		CostScale:         s.CostScale,
+		Virtual:           true,
+	}
+}
+
+func (s RunSpec) benchConfig(seed uint64) stamp.Config {
+	return stamp.Config{
+		Scale:      s.Scale,
+		Variant:    s.Variant,
+		Seed:       seed,
+		ChunkStep1: s.ChunkStep1,
+	}
+}
+
+// runSeqOnce runs one sequential (non-HTM) execution and returns the region
+// duration in virtual cycles.
+func (s RunSpec) runSeqOnce(seed uint64) (float64, error) {
+	e := htm.New(s.platformSpec(), s.engineConfig(1, seed))
+	b, err := stamp.New(s.Benchmark, s.benchConfig(seed))
+	if err != nil {
+		return 0, err
+	}
+	b.Setup(e.Thread(0))
+	e.ResetClocks()
+	b.Run([]stamp.Runner{stamp.SeqRunner{T: e.Thread(0)}})
+	elapsed := float64(e.MaxClock())
+	if err := b.Validate(e.Thread(0)); err != nil {
+		return 0, fmt.Errorf("sequential %s on %s: %w", s.Benchmark, s.Platform, err)
+	}
+	return elapsed, nil
+}
+
+// runParOnce runs one parallel execution, returning the region duration in
+// virtual cycles and the accumulated runtime/engine statistics.
+func (s RunSpec) runParOnce(seed uint64) (float64, tm.Stats, htm.Stats, error) {
+	e := htm.New(s.platformSpec(), s.engineConfig(s.Threads, seed))
+	b, err := stamp.New(s.Benchmark, s.benchConfig(seed))
+	if err != nil {
+		return 0, tm.Stats{}, htm.Stats{}, err
+	}
+	b.Setup(e.Thread(0))
+	lock := tm.NewGlobalLock(e)
+	pol := s.policy()
+	runners := make([]stamp.Runner, s.Threads)
+	execs := make([]*tm.Executor, s.Threads)
+	for i := range runners {
+		execs[i] = tm.NewExecutor(e.Thread(i), lock, pol)
+		switch {
+		case s.UseSTM:
+			runners[i] = stamp.STMRunner{X: execs[i]}
+		case s.UseHLE:
+			runners[i] = stamp.HLERunner{X: execs[i]}
+		default:
+			runners[i] = stamp.TMRunner{X: execs[i]}
+		}
+	}
+	e.ResetStats()
+	e.ResetClocks()
+	b.Run(runners)
+	elapsed := float64(e.MaxClock())
+	if err := b.Validate(e.Thread(0)); err != nil {
+		return 0, tm.Stats{}, htm.Stats{}, fmt.Errorf("parallel %s on %s (%d threads): %w",
+			s.Benchmark, s.Platform, s.Threads, err)
+	}
+	var agg tm.Stats
+	for _, x := range execs {
+		agg.Add(&x.Stats)
+	}
+	return elapsed, agg, e.Stats(), nil
+}
+
+// Run measures spec: Repeats sequential runs and Repeats parallel runs, and
+// reports the mean speedup with its 95% confidence interval plus the abort
+// statistics of the parallel runs.
+func Run(spec RunSpec) (Result, error) {
+	spec = spec.withDefaults()
+	res := Result{Spec: spec}
+
+	// Virtual-time runs are deterministic for a fixed seed, so repeats vary
+	// the workload seed (the paper instead averaged repeated runs of one
+	// noisy hardware execution).
+	seqTimes := make([]float64, 0, spec.Repeats)
+	for i := 0; i < spec.Repeats; i++ {
+		s, err := spec.runSeqOnce(spec.Seed + uint64(i)*1009)
+		if err != nil {
+			return res, err
+		}
+		seqTimes = append(seqTimes, s)
+	}
+	res.SeqSeconds = stats.Mean(seqTimes)
+
+	parTimes := make([]float64, 0, spec.Repeats)
+	speedups := make([]float64, 0, spec.Repeats)
+	for i := 0; i < spec.Repeats; i++ {
+		p, tmStats, engStats, err := spec.runParOnce(spec.Seed + uint64(i)*1009)
+		if err != nil {
+			return res, err
+		}
+		parTimes = append(parTimes, p)
+		speedups = append(speedups, seqTimes[i]/p)
+		res.TM.Add(&tmStats)
+		res.Engine = mergeEngine(res.Engine, engStats)
+	}
+	res.ParSeconds = stats.Mean(parTimes)
+	res.Speedup = stats.Mean(speedups)
+	res.SpeedupCI = stats.CI95(speedups)
+	res.AbortRatio = res.TM.AbortRatio()
+	res.Breakdown = res.TM.CategoryBreakdown()
+	res.SerializationRatio = res.TM.SerializationRatio()
+	return res, nil
+}
+
+func mergeEngine(a, b htm.Stats) htm.Stats {
+	a.Begins += b.Begins
+	a.Commits += b.Commits
+	a.Aborts += b.Aborts
+	for i := range a.AbortsByReason {
+		a.AbortsByReason[i] += b.AbortsByReason[i]
+	}
+	a.TxLoads += b.TxLoads
+	a.TxStores += b.TxStores
+	a.SpecIDWaits += b.SpecIDWaits
+	if b.MaxReadLines > a.MaxReadLines {
+		a.MaxReadLines = b.MaxReadLines
+	}
+	if b.MaxWriteLines > a.MaxWriteLines {
+		a.MaxWriteLines = b.MaxWriteLines
+	}
+	return a
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+)
+
+func TestRunProducesSpeedupSSCA2(t *testing.T) {
+	res, err := Run(RunSpec{
+		Platform:  platform.ZEC12,
+		Benchmark: "ssca2",
+		Threads:   4,
+		Scale:     stamp.ScaleTest,
+		Repeats:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1.0 {
+		t.Errorf("ssca2 on zEC12 with 4 threads: speedup %.2f, want > 1 (virtual-time parallelism broken?)", res.Speedup)
+	}
+	if res.Speedup > 4.5 {
+		t.Errorf("speedup %.2f exceeds thread count", res.Speedup)
+	}
+	if res.TM.Commits() == 0 {
+		t.Error("no commits recorded")
+	}
+}
+
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	spec := RunSpec{
+		Platform:  platform.POWER8,
+		Benchmark: "vacation-low",
+		Threads:   4,
+		Scale:     stamp.ScaleTest,
+		Repeats:   1,
+		Seed:      7,
+	}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Speedup != b.Speedup || a.ParSeconds != b.ParSeconds {
+		t.Errorf("virtual-time runs not deterministic: %.6f/%.0f vs %.6f/%.0f",
+			a.Speedup, a.ParSeconds, b.Speedup, b.ParSeconds)
+	}
+	if a.TM != b.TM {
+		t.Errorf("stats not deterministic: %+v vs %+v", a.TM, b.TM)
+	}
+}
+
+func TestSequentialBaselineHasNoAborts(t *testing.T) {
+	spec := RunSpec{
+		Platform:  platform.IntelCore,
+		Benchmark: "kmeans-low",
+		Threads:   1,
+		Scale:     stamp.ScaleTest,
+		Repeats:   1,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One thread can still abort (zEC12 cache-fetch etc.) but on Intel the
+	// only stochastic source is the prefetcher, which never conflicts with
+	// a single thread.
+	if res.AbortRatio > 1 {
+		t.Errorf("single-thread abort ratio %.2f%%, want ~0", res.AbortRatio)
+	}
+	if res.Speedup < 0.90 || res.Speedup > 1.10 {
+		t.Errorf("1-thread transactional speedup %.3f, want ~1 (overheads mismodelled)", res.Speedup)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	tb := Table1()
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Blue Gene/Q", "zEC12", "Intel Core", "POWER8",
+		"256 bytes", "8 KB", "4 MB", "22 KB", "20 MB (1.25 MB per core)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	tb.CSV(&csv)
+	if !strings.Contains(csv.String(), "Processor type,Blue Gene/Q") {
+		t.Error("CSV header malformed")
+	}
+}
+
+func TestTuneFindsAPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning in -short mode")
+	}
+	tr, err := Tune(RunSpec{
+		Platform:  platform.POWER8,
+		Benchmark: "ssca2",
+		Threads:   2,
+		Scale:     stamp.ScaleTest,
+		Repeats:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Result.Speedup <= 0 {
+		t.Errorf("tuned speedup %.2f", tr.Result.Speedup)
+	}
+	if tr.Policy.TransientRetry == 0 {
+		t.Error("tuner returned zero policy")
+	}
+}
+
+func TestTuneBGQSearchesModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning in -short mode")
+	}
+	tr, err := Tune(RunSpec{
+		Platform:  platform.BlueGeneQ,
+		Benchmark: "kmeans-high",
+		Threads:   2,
+		Scale:     stamp.ScaleTest,
+		Repeats:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Result.Speedup <= 0 {
+		t.Errorf("tuned speedup %.2f", tr.Result.Speedup)
+	}
+}
+
+func TestHLESpecRuns(t *testing.T) {
+	res, err := Run(RunSpec{
+		Platform:  platform.IntelCore,
+		Benchmark: "ssca2",
+		Threads:   2,
+		Scale:     stamp.ScaleTest,
+		Repeats:   1,
+		UseHLE:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TM.Commits() == 0 {
+		t.Error("HLE run recorded no commits")
+	}
+}
+
+func TestMeasureAppliesBGQGenomeChunk(t *testing.T) {
+	opts := Options{Scale: stamp.ScaleTest, Repeats: 1}.withDefaults()
+	res, err := opts.measure(platform.BlueGeneQ, "genome", 2, stamp.Modified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spec.ChunkStep1 != 9 {
+		t.Errorf("BG/Q genome ChunkStep1 = %d, want the paper's tuned 9", res.Spec.ChunkStep1)
+	}
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"testing"
+
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+)
+
+func TestSTMRunSpecAllBenchmarks(t *testing.T) {
+	for _, name := range stamp.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(RunSpec{
+				Platform: platform.ZEC12, Benchmark: name,
+				Threads: 4, Scale: stamp.ScaleTest, Repeats: 1, UseSTM: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TM.Commits() == 0 {
+				t.Error("no STM commits")
+			}
+			if res.TM.IrrevocableCommits != 0 {
+				t.Error("STM must never fall back to the lock")
+			}
+		})
+	}
+}
+
+func TestSTMOverheadExceedsHTM(t *testing.T) {
+	// The paper's premise: HTM's single-thread overhead is much lower than
+	// STM's.
+	htmRes, err := Run(RunSpec{Platform: platform.ZEC12, Benchmark: "vacation-low",
+		Threads: 1, Scale: stamp.ScaleTest, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmRes, err := Run(RunSpec{Platform: platform.ZEC12, Benchmark: "vacation-low",
+		Threads: 1, Scale: stamp.ScaleTest, Repeats: 1, UseSTM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmRes.Speedup >= htmRes.Speedup {
+		t.Errorf("STM 1-thread speedup %.2f not below HTM's %.2f", stmRes.Speedup, htmRes.Speedup)
+	}
+}
+
+func TestCapacitySweepMonotone(t *testing.T) {
+	small, err := Run(RunSpec{Platform: platform.POWER8, Benchmark: "yada",
+		Threads: 4, Scale: stamp.ScaleTest, Repeats: 1, TMCAMEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(RunSpec{Platform: platform.POWER8, Benchmark: "yada",
+		Threads: 4, Scale: stamp.ScaleTest, Repeats: 1, TMCAMEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Breakdown[0] > small.Breakdown[0] {
+		t.Errorf("capacity aborts grew with larger TMCAM: %.1f%% -> %.1f%%",
+			small.Breakdown[0], big.Breakdown[0])
+	}
+}

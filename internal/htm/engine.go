@@ -1,0 +1,434 @@
+// Package htm implements the behavioural hardware-transactional-memory
+// engine at the core of this reproduction.
+//
+// The engine executes real concurrent transactions (one Thread per
+// goroutine) against a simulated flat memory (internal/mem), mimicking how
+// the four processors of the paper implement HTM on top of their cache
+// hierarchies (Section 2):
+//
+//   - Conflict detection is eager and cache-line-granular: every
+//     transactional access registers the accessed line in a global
+//     line-ownership table, and a conflicting request dooms the current
+//     owner, exactly as a coherence invalidation aborts the transaction
+//     holding the line in real hardware ("requester wins").
+//   - Stores are buffered: a transaction copies each written line into a
+//     private buffer and publishes it at commit, so concurrent transactions
+//     and non-transactional readers never observe speculative state.
+//   - Capacity is accounted per platform: distinct-line counts against the
+//     Table 1 load/store budgets, set-associativity overflow for store
+//     buffers that live in the L1, and division of per-core resources among
+//     SMT threads concurrently in transactions.
+//   - Platform quirks are modelled where the paper identifies them as the
+//     cause of measured behaviour: Blue Gene/Q's speculation-ID pool and
+//     software begin/end overhead, zEC12's spurious cache-fetch aborts,
+//     Intel's adjacent-line prefetches joining the read set.
+//
+// Aborts unwind to the transaction begin via panic/recover, mirroring the
+// hardware register-state rollback.
+package htm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"htmcmp/internal/mem"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/prng"
+)
+
+// maxThreads is the maximum number of Threads per Engine, bounded by the
+// 256-bit reader sets in the line table. The largest paper configuration is
+// 64 hardware threads (Blue Gene/Q).
+const maxThreads = 256
+
+const (
+	statusIdle int32 = iota
+	statusActive
+	statusCommitting
+	statusDoomed
+)
+
+// numShards is the number of mutexes striping the line-ownership table.
+// Power of two; large enough that unrelated lines rarely contend.
+const numShards = 4096
+
+// lineRec is the ownership record of one conflict-detection line: the
+// writing transaction (thread slot, or -1) and a bitmap of reading threads.
+// It is the software analogue of tx-read/tx-dirty cache-line bits (zEC12,
+// Section 2.2) or a TMCAM entry (POWER8, Section 2.4).
+type lineRec struct {
+	writer  int32
+	readers [maxThreads / 64]uint64
+}
+
+func (l *lineRec) setReader(slot int)   { l.readers[slot>>6] |= 1 << (uint(slot) & 63) }
+func (l *lineRec) clearReader(slot int) { l.readers[slot>>6] &^= 1 << (uint(slot) & 63) }
+func (l *lineRec) hasReader(slot int) bool {
+	return l.readers[slot>>6]&(1<<(uint(slot)&63)) != 0
+}
+func (l *lineRec) hasOtherReader(slot int) bool {
+	for w, word := range l.readers {
+		if w == slot>>6 {
+			word &^= 1 << (uint(slot) & 63)
+		}
+		if word != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// padMutex is a mutex padded to a cache line to avoid false sharing between
+// shards of the (heavily contended) line table.
+type padMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+// coreState tracks how many hardware threads of one physical core are
+// currently inside transactions, for the SMT resource-sharing model
+// (Section 2, "Transaction capacity").
+type coreState struct {
+	activeTx atomic.Int32
+	_        [60]byte
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Threads is the number of hardware threads to provision (Thread
+	// slots). It may exceed the platform's core count; extra threads share
+	// cores per Spec.CoreOf. Must be in [1, 256].
+	Threads int
+	// SpaceSize is the simulated arena size in bytes (default 64 MiB).
+	SpaceSize int
+	// Seed seeds the per-thread PRNGs used by the stochastic models
+	// (prefetcher, cache-fetch aborts) and by workloads.
+	Seed uint64
+	// Mode selects Blue Gene/Q's running mode; ignored elsewhere.
+	Mode platform.BGQMode
+	// DisablePrefetch turns off the Intel adjacent-line prefetcher model —
+	// the hardware-prefetch ablation of Section 5.1.
+	DisablePrefetch bool
+	// DisableCacheFetchAborts turns off zEC12's spurious transient aborts.
+	DisableCacheFetchAborts bool
+	// ResponderWins flips the conflict-resolution policy so the requesting
+	// transaction aborts instead of the current owner (an ablation; real
+	// invalidation-based HTMs are requester-wins).
+	ResponderWins bool
+	// CostScale scales the injected platform overhead costs. 1.0 is the
+	// calibrated model; 0 disables cost injection (fast functional tests).
+	CostScale float64
+	// DisableSMTSharing turns off division of capacity among SMT threads
+	// (an ablation for the Section 7 "better interaction with SMT"
+	// discussion).
+	DisableSMTSharing bool
+	// UnboundedCapacity disables all capacity aborts while still tracking
+	// footprints: the tracing configuration behind Figures 10/11, which
+	// measured transaction sizes with an external tool unconstrained by
+	// any processor's real capacity.
+	UnboundedCapacity bool
+	// ConflictSampler, when set, receives every conflict event: the line
+	// and the victim thread. Analysis tooling (cmd/htmtrace -conflicts)
+	// uses it to locate contention hot spots. Thread-safety as for
+	// FootprintSampler.
+	ConflictSampler func(line uint32, victim int)
+	// FootprintSampler, when set, receives every committed transaction's
+	// footprint in distinct conflict-detection lines (prefetched lines
+	// excluded). It is called from committing threads concurrently and
+	// must be thread-safe; internal/trace uses it single-threaded to
+	// collect the Figure 10/11 transaction-size distributions.
+	FootprintSampler func(readLines, writeLines int)
+	// Virtual enables the deterministic virtual-time scheduler: one
+	// thread runs at a time, costs advance per-thread virtual clocks, and
+	// the scheduler always resumes the minimum-clock thread. This makes
+	// conflict behaviour and measured speed-ups independent of the host's
+	// CPU count and fully reproducible; all harness measurements use it.
+	// Without it, threads run with real concurrency (used by stress
+	// tests on multi-core hosts).
+	Virtual bool
+	// Quantum is the number of memory accesses between voluntary yields
+	// in virtual mode (default 8). Smaller values interleave transactions
+	// more finely.
+	Quantum int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.SpaceSize <= 0 {
+		c.SpaceSize = 64 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Engine is one platform's HTM, instantiated over one simulated memory.
+// Create with New, obtain per-goroutine Threads with Thread, and run
+// transactions through the internal/tm runtime (or Thread.TryTx directly).
+type Engine struct {
+	plat  *platform.Spec
+	space *mem.Space
+	cfg   Config
+
+	lineShift uint
+	lineSize  int
+	nLines    int
+	lines     []lineRec
+	shards    []padMutex
+
+	cores    []coreState
+	activeTx atomic.Int32 // engine-wide live transactions (strong-isolation fast path)
+
+	specPool *specIDPool // Blue Gene/Q only
+
+	// arbiter serialises "hardened" constrained transactions so that
+	// zEC12's eventual-commit guarantee holds (Section 2.2). It is a
+	// spin lock (not a sync.Mutex) so that a holder may yield the virtual
+	// scheduler's baton while waiters Pause instead of blocking.
+	arbiter atomic.Int32
+
+	// sched is the virtual-time scheduler (nil in real-concurrency mode).
+	sched *vsched
+
+	// stmSeq is the global NOrec sequence lock (see stm.go).
+	stmSeq atomic.Uint64
+
+	threads []*Thread
+
+	loadCapLines  int
+	storeCapLines int
+}
+
+// New creates an Engine for the given platform model over a fresh memory
+// space. The returned engine has cfg.Threads thread contexts; index them
+// with Thread(i).
+func New(spec *platform.Spec, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.Threads > maxThreads {
+		panic(fmt.Sprintf("htm: %d threads exceeds engine maximum %d", cfg.Threads, maxThreads))
+	}
+	e := &Engine{
+		plat:  spec,
+		space: mem.NewSpace(cfg.SpaceSize),
+		cfg:   cfg,
+	}
+	e.lineSize = spec.LineSize
+	if spec.Kind == platform.BlueGeneQ && cfg.Mode == platform.ShortRunning {
+		// In short-running mode only the L2 holds transactional data and
+		// the directory can track at finer granularity (Section 2.1:
+		// 8–128 bytes "based on certain conditions, such as the running
+		// mode"). We model short-running as 64-byte detection.
+		e.lineSize = 64
+	}
+	e.lineShift = uint(log2(e.lineSize))
+	e.nLines = (e.space.Size() + e.lineSize - 1) / e.lineSize
+	e.lines = make([]lineRec, e.nLines)
+	for i := range e.lines {
+		e.lines[i].writer = -1
+	}
+	e.shards = make([]padMutex, numShards)
+	e.cores = make([]coreState, spec.Cores)
+	if spec.SpecIDs > 0 {
+		e.specPool = newSpecIDPool(spec.SpecIDs, e.scaledCost(spec.Costs.SpecIDHold))
+	}
+	e.loadCapLines = spec.LoadCapacity / e.lineSize
+	e.storeCapLines = spec.StoreCapacity / e.lineSize
+	if cfg.Virtual {
+		e.sched = newVsched(cfg.Quantum)
+	}
+	e.threads = make([]*Thread, cfg.Threads)
+	for i := range e.threads {
+		e.threads[i] = newThread(e, i)
+	}
+	return e
+}
+
+func log2(n int) int {
+	s := 0
+	for 1<<uint(s) < n {
+		s++
+	}
+	if 1<<uint(s) != n {
+		panic(fmt.Sprintf("htm: line size %d is not a power of two", n))
+	}
+	return s
+}
+
+// Platform returns the processor model this engine implements.
+func (e *Engine) Platform() *platform.Spec { return e.plat }
+
+// Space returns the simulated memory arena (for setup-phase direct access).
+func (e *Engine) Space() *mem.Space { return e.space }
+
+// LineSize returns the effective conflict-detection granularity in bytes
+// (mode-dependent on Blue Gene/Q).
+func (e *Engine) LineSize() int { return e.lineSize }
+
+// Threads returns the number of provisioned thread contexts.
+func (e *Engine) Threads() int { return len(e.threads) }
+
+// Thread returns thread context i. Each context must be used by at most one
+// goroutine at a time.
+func (e *Engine) Thread(i int) *Thread { return e.threads[i] }
+
+// Config returns the engine configuration (with defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) shardOf(line uint32) *padMutex {
+	return &e.shards[line&(numShards-1)]
+}
+
+// scaledCost applies Config.CostScale to a platform cost.
+func (e *Engine) scaledCost(c int) int {
+	return int(float64(c) * e.cfg.CostScale)
+}
+
+// lockArbiter spin-acquires the constrained-transaction arbiter.
+func (e *Engine) lockArbiter(t *Thread) {
+	for !e.arbiter.CompareAndSwap(0, 1) {
+		t.Pause(8)
+	}
+}
+
+// unlockArbiter releases the constrained-transaction arbiter.
+func (e *Engine) unlockArbiter() { e.arbiter.Store(0) }
+
+// smtDivisor returns how many hardware threads of core are currently inside
+// transactions, which divides that core's tracking resources (Section 2).
+func (e *Engine) smtDivisor(core int) int {
+	if e.cfg.DisableSMTSharing || e.plat.SMT <= 1 {
+		return 1
+	}
+	d := int(e.cores[core].activeTx.Load())
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Stats aggregates the per-thread statistics.
+func (e *Engine) Stats() Stats {
+	var total Stats
+	for _, t := range e.threads {
+		total.add(&t.stats)
+	}
+	return total
+}
+
+// ResetStats zeroes all per-thread statistics. Call between the warm-up and
+// measured phases of an experiment, never while transactions are running.
+func (e *Engine) ResetStats() {
+	for _, t := range e.threads {
+		t.stats = Stats{}
+	}
+}
+
+// Virtual reports whether the engine runs under the virtual-time scheduler.
+func (e *Engine) Virtual() bool { return e.sched != nil }
+
+// ResetClocks zeroes every thread's virtual clock; call at the start of a
+// measured region (never while threads are scheduled).
+func (e *Engine) ResetClocks() {
+	for _, t := range e.threads {
+		t.vclock = 0
+	}
+}
+
+// MaxClock returns the largest virtual clock across threads — the duration
+// of the last measured region in cost units.
+func (e *Engine) MaxClock() uint64 {
+	var m uint64
+	for _, t := range e.threads {
+		if t.vclock > m {
+			m = t.vclock
+		}
+	}
+	return m
+}
+
+// Stats are the engine-level transaction counters. The software runtime
+// (internal/tm) layers its own counters (lock-conflict reclassification,
+// serialization ratio) on top.
+type Stats struct {
+	Begins  uint64
+	Commits uint64
+	Aborts  uint64
+	// AbortsByReason counts aborts per engine Reason.
+	AbortsByReason [NumReasons]uint64
+	// TxLoads/TxStores count transactional accesses (for cost analyses).
+	TxLoads  uint64
+	TxStores uint64
+	// SpecIDWaits counts Blue Gene/Q transactions that had to wait or
+	// reclaim at begin because the speculation-ID pool was empty.
+	SpecIDWaits uint64
+	// MaxReadLines/MaxWriteLines track the largest transactional footprints
+	// observed (distinct lines).
+	MaxReadLines  int
+	MaxWriteLines int
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Begins += o.Begins
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	for i := range s.AbortsByReason {
+		s.AbortsByReason[i] += o.AbortsByReason[i]
+	}
+	s.TxLoads += o.TxLoads
+	s.TxStores += o.TxStores
+	s.SpecIDWaits += o.SpecIDWaits
+	if o.MaxReadLines > s.MaxReadLines {
+		s.MaxReadLines = o.MaxReadLines
+	}
+	if o.MaxWriteLines > s.MaxWriteLines {
+		s.MaxWriteLines = o.MaxWriteLines
+	}
+}
+
+// AbortRatio returns the paper's transaction-abort ratio: aborted
+// transactions as a percentage of all transaction attempts (Section 5).
+func (s *Stats) AbortRatio() float64 {
+	if s.Begins == 0 {
+		return 0
+	}
+	return 100 * float64(s.Aborts) / float64(s.Begins)
+}
+
+// CategoryBreakdown splits the abort ratio into Figure 3's categories, as
+// percentage points of all begins. Lock-conflict reclassification is done by
+// internal/tm; here lock conflicts appear under their raw reason.
+func (s *Stats) CategoryBreakdown() [NumCategories]float64 {
+	var out [NumCategories]float64
+	if s.Begins == 0 {
+		return out
+	}
+	for r := 0; r < NumReasons; r++ {
+		out[Reason(r).Category()] += 100 * float64(s.AbortsByReason[r]) / float64(s.Begins)
+	}
+	return out
+}
+
+// spinSink defeats dead-code elimination of the cost-injection spin loop.
+var spinSink atomic.Uint64
+
+// spin burns approximately n work units of CPU.
+func spin(n int) {
+	if n <= 0 {
+		return
+	}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+	}
+	spinSink.Store(x)
+}
+
+// rngFor derives a deterministic per-thread generator.
+func (e *Engine) rngFor(slot int) *prng.Rand {
+	return prng.Derive(e.cfg.Seed, slot)
+}

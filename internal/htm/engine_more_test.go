@@ -1,0 +1,195 @@
+package htm
+
+import (
+	"testing"
+
+	"htmcmp/internal/platform"
+)
+
+func TestReasonCategories(t *testing.T) {
+	want := map[Reason]Category{
+		ReasonConflict:          CategoryDataConflict,
+		ReasonNonTxConflict:     CategoryDataConflict,
+		ReasonCommitterConflict: CategoryDataConflict,
+		ReasonCapacityLoad:      CategoryCapacity,
+		ReasonCapacityStore:     CategoryCapacity,
+		ReasonCapacityWay:       CategoryCapacity,
+		ReasonCapacitySMT:       CategoryCapacity,
+		ReasonExplicit:          CategoryOther,
+		ReasonCacheFetch:        CategoryOther,
+	}
+	for r, c := range want {
+		if r.Category() != c {
+			t.Errorf("%v category = %v, want %v", r, r.Category(), c)
+		}
+	}
+	for r := 0; r < NumReasons; r++ {
+		if Reason(r).String() == "unknown" {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == "Unclassified" {
+			t.Errorf("category %d has no label", c)
+		}
+	}
+}
+
+func TestStatsAggregationAndRatios(t *testing.T) {
+	var a, b Stats
+	a.Begins, a.Commits, a.Aborts = 10, 7, 3
+	a.AbortsByReason[ReasonConflict] = 3
+	a.MaxReadLines, a.MaxWriteLines = 5, 2
+	b.Begins, b.Commits, b.Aborts = 10, 10, 0
+	b.MaxReadLines, b.MaxWriteLines = 9, 1
+	a.add(&b)
+	if a.Begins != 20 || a.Commits != 17 || a.Aborts != 3 {
+		t.Errorf("aggregate = %+v", a)
+	}
+	if a.MaxReadLines != 9 || a.MaxWriteLines != 2 {
+		t.Error("max footprints must take the maximum")
+	}
+	if got := a.AbortRatio(); got != 15 {
+		t.Errorf("AbortRatio = %v, want 15", got)
+	}
+	br := a.CategoryBreakdown()
+	if br[CategoryDataConflict] != 15 {
+		t.Errorf("conflict breakdown = %v", br[CategoryDataConflict])
+	}
+	var empty Stats
+	if empty.AbortRatio() != 0 {
+		t.Error("empty stats AbortRatio should be 0")
+	}
+}
+
+func TestFootprintSamplerReceivesCommits(t *testing.T) {
+	var samples [][2]int
+	e := New(platform.New(platform.IntelCore), Config{
+		Threads: 1, SpaceSize: 1 << 20, CostScale: 0, DisablePrefetch: true,
+		FootprintSampler: func(r, w int) { samples = append(samples, [2]int{r, w}) },
+	})
+	th := e.Thread(0)
+	a := th.Alloc(8 * e.LineSize())
+	th.TryTx(TxNormal, func() {
+		for i := 0; i < 3; i++ {
+			_ = th.Load64(a + uint64(i*e.LineSize()))
+		}
+		th.Store64(a+uint64(5*e.LineSize()), 1)
+	})
+	th.TryTx(TxNormal, func() { th.Abort() }) // aborted: not sampled
+	if len(samples) != 1 {
+		t.Fatalf("sampled %d transactions, want 1", len(samples))
+	}
+	if samples[0] != [2]int{3, 1} {
+		t.Errorf("sample = %v, want [3 1]", samples[0])
+	}
+}
+
+func TestConflictSamplerReceivesDooms(t *testing.T) {
+	var conflicts int
+	e := New(platform.New(platform.IntelCore), Config{
+		Threads: 2, SpaceSize: 1 << 20, CostScale: 0, DisablePrefetch: true, Virtual: true,
+		ConflictSampler: func(line uint32, victim int) { conflicts++ },
+	})
+	a := e.Thread(0).Alloc(64)
+	done := make(chan struct{})
+	e.Thread(0).Register()
+	e.Thread(1).Register()
+	go func() {
+		defer close(done)
+		t1 := e.Thread(1)
+		t1.BeginWork()
+		defer t1.ExitWork()
+		for i := 0; i < 50; i++ {
+			t1.TryTx(TxNormal, func() {
+				t1.Store64(a, t1.Load64(a)+1)
+				t1.Work(50)
+			})
+		}
+	}()
+	t0 := e.Thread(0)
+	t0.BeginWork()
+	for i := 0; i < 50; i++ {
+		t0.TryTx(TxNormal, func() {
+			t0.Store64(a, t0.Load64(a)+1)
+			t0.Work(50)
+		})
+	}
+	t0.ExitWork()
+	<-done
+	if conflicts == 0 {
+		t.Error("contended counters produced no sampled conflicts")
+	}
+}
+
+func TestUnboundedCapacityDisablesAborts(t *testing.T) {
+	e := New(platform.New(platform.POWER8), Config{
+		Threads: 1, SpaceSize: 8 << 20, CostScale: 0, UnboundedCapacity: true,
+	})
+	th := e.Thread(0)
+	n := 500 // far beyond the 64-entry TMCAM
+	a := th.Alloc(n * e.LineSize())
+	ok, ab := th.TryTx(TxNormal, func() {
+		for i := 0; i < n; i++ {
+			th.Store64(a+uint64(i*e.LineSize()), 1)
+		}
+	})
+	if !ok {
+		t.Fatalf("unbounded-capacity tx aborted: %+v", ab)
+	}
+}
+
+func TestEngineConfigDefaults(t *testing.T) {
+	e := New(platform.New(platform.ZEC12), Config{})
+	if e.Threads() != 1 {
+		t.Errorf("default threads = %d", e.Threads())
+	}
+	if e.Space().Size() != 64<<20 {
+		t.Errorf("default space = %d", e.Space().Size())
+	}
+	if e.Virtual() {
+		t.Error("virtual mode must be opt-in")
+	}
+}
+
+func TestTooManyThreadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("engine accepted more threads than the reader bitmap supports")
+		}
+	}()
+	New(platform.New(platform.ZEC12), Config{Threads: 257})
+}
+
+func TestROTStoresConflictDetected(t *testing.T) {
+	// Rollback-only transactions still buffer and register STORES; a
+	// conflicting non-transactional store from another thread must doom
+	// the ROT.
+	e := newTestEngine(t, platform.POWER8, 2)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	a := t0.Alloc(256)
+
+	wrote := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var rotOK bool
+	go func() {
+		defer close(done)
+		rotOK, _ = t0.TryTx(TxRollbackOnly, func() {
+			t0.Store64(a, 1)
+			close(wrote)
+			<-release
+			t0.Store64(a+8, 2) // must observe the doom
+		})
+	}()
+	<-wrote
+	t1.Store64(a, 99) // non-tx store to the ROT's write line
+	close(release)
+	<-done
+	if rotOK {
+		t.Error("ROT survived a conflicting store to its write set")
+	}
+	if got := t0.Load64(a); got != 99 {
+		t.Errorf("memory = %d, want the non-tx store's 99", got)
+	}
+}

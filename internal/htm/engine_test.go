@@ -1,0 +1,834 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"htmcmp/internal/mem"
+	"htmcmp/internal/platform"
+)
+
+// newTestEngine returns a small, cost-free engine for functional tests.
+func newTestEngine(t *testing.T, k platform.Kind, threads int) *Engine {
+	t.Helper()
+	return New(platform.New(k), Config{
+		Threads:   threads,
+		SpaceSize: 1 << 20,
+		Seed:      42,
+		CostScale: 0,
+		// Keep functional tests deterministic: no stochastic aborts.
+		DisableCacheFetchAborts: true,
+		DisablePrefetch:         true,
+	})
+}
+
+func TestCommitPublishesStores(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	th.Store64(a, 7)
+
+	ok, _ := th.TryTx(TxNormal, func() {
+		th.Store64(a, 99)
+		if got := th.Load64(a); got != 99 {
+			t.Errorf("in-tx read-own-write = %d, want 99", got)
+		}
+	})
+	if !ok {
+		t.Fatal("single-threaded transaction aborted")
+	}
+	if got := th.Load64(a); got != 99 {
+		t.Errorf("after commit Load64 = %d, want 99", got)
+	}
+}
+
+func TestAbortRollsBackStores(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	th.Store64(a, 7)
+
+	ok, ab := th.TryTx(TxNormal, func() {
+		th.Store64(a, 99)
+		th.Abort()
+	})
+	if ok {
+		t.Fatal("transaction with explicit abort committed")
+	}
+	if ab.Reason != ReasonExplicit {
+		t.Errorf("abort reason = %v, want explicit", ab.Reason)
+	}
+	if got := th.Load64(a); got != 7 {
+		t.Errorf("after abort Load64 = %d, want 7 (rolled back)", got)
+	}
+}
+
+func TestAbortReclaimsTxAllocations(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	before := e.Space().Used()
+	th.TryTx(TxNormal, func() {
+		th.Alloc(128)
+		th.Alloc(64)
+		th.Abort()
+	})
+	if after := e.Space().Used(); after != before {
+		t.Errorf("aborted tx leaked memory: used %d -> %d", before, after)
+	}
+}
+
+func TestTxFreeDeferredToCommit(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	th.TryTx(TxNormal, func() {
+		th.Free(a)
+		th.Abort()
+	})
+	// The free must not have happened: a is still a live allocation.
+	if e.Space().BlockSize(a) == 0 {
+		t.Fatal("transactional Free applied despite abort")
+	}
+	ok, _ := th.TryTx(TxNormal, func() { th.Free(a) })
+	if !ok {
+		t.Fatal("tx aborted unexpectedly")
+	}
+	if e.Space().BlockSize(a) != 0 {
+		t.Fatal("transactional Free not applied at commit")
+	}
+}
+
+// TestConflictRequesterWins drives two threads into a read-write conflict
+// with explicit sequencing: T0 reads line L in a transaction, then T1 writes
+// L in its own transaction. Requester-wins means T0 (the reader) is doomed
+// and T1 commits.
+func TestConflictRequesterWins(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 2)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	a := t0.Alloc(64)
+
+	t0Read := make(chan struct{})
+	t1Done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var t0OK bool
+	var t0Abort Abort
+	go func() {
+		defer wg.Done()
+		t0OK, t0Abort = t0.TryTx(TxNormal, func() {
+			_ = t0.Load64(a)
+			close(t0Read)
+			<-t1Done // hold the transaction open across T1's write
+			_ = t0.Load64(a)
+		})
+	}()
+
+	<-t0Read
+	t1OK, _ := t1.TryTx(TxNormal, func() {
+		t1.Store64(a, 5)
+	})
+	close(t1Done)
+	wg.Wait()
+
+	if !t1OK {
+		t.Error("writer (requester) should have committed")
+	}
+	if t0OK {
+		t.Error("reader should have been doomed by the conflicting writer")
+	}
+	if t0OK == false && t0Abort.Reason != ReasonConflict {
+		t.Errorf("reader abort reason = %v, want conflict", t0Abort.Reason)
+	}
+	if got := t1.Load64(a); got != 5 {
+		t.Errorf("committed value = %d, want 5", got)
+	}
+}
+
+// TestWriterDoomedByReader: T0 writes L transactionally, T1 then reads L
+// transactionally; requester-wins dooms the writer, and the reader must see
+// the pre-transactional value (store buffering).
+func TestWriterDoomedByReader(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 2)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	a := t0.Alloc(64)
+	t0.Store64(a, 1)
+
+	t0Wrote := make(chan struct{})
+	t1Done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var t0OK bool
+	go func() {
+		defer wg.Done()
+		t0OK, _ = t0.TryTx(TxNormal, func() {
+			t0.Store64(a, 99)
+			close(t0Wrote)
+			<-t1Done
+			t0.Store64(a, 100)
+		})
+	}()
+
+	<-t0Wrote
+	var seen uint64
+	t1OK, _ := t1.TryTx(TxNormal, func() {
+		seen = t1.Load64(a)
+	})
+	close(t1Done)
+	wg.Wait()
+
+	if !t1OK {
+		t.Error("reader (requester) should have committed")
+	}
+	if t0OK {
+		t.Error("writer should have been doomed")
+	}
+	if seen != 1 {
+		t.Errorf("reader saw %d, want pre-transactional 1 (speculative state leaked)", seen)
+	}
+	if got := t1.Load64(a); got != 1 {
+		t.Errorf("memory = %d, want 1 after writer rollback", got)
+	}
+}
+
+func TestResponderWinsAblation(t *testing.T) {
+	e := New(platform.New(platform.IntelCore), Config{
+		Threads: 2, SpaceSize: 1 << 20, Seed: 1, CostScale: 0,
+		DisablePrefetch: true, ResponderWins: true,
+	})
+	t0, t1 := e.Thread(0), e.Thread(1)
+	a := t0.Alloc(64)
+
+	t0Read := make(chan struct{})
+	t1Done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var t0OK bool
+	go func() {
+		defer wg.Done()
+		t0OK, _ = t0.TryTx(TxNormal, func() {
+			_ = t0.Load64(a)
+			close(t0Read)
+			<-t1Done
+		})
+	}()
+	<-t0Read
+	t1OK, ab := t1.TryTx(TxNormal, func() { t1.Store64(a, 5) })
+	close(t1Done)
+	wg.Wait()
+
+	if t1OK {
+		t.Error("responder-wins: requesting writer should abort")
+	}
+	if ab.Reason != ReasonConflict {
+		t.Errorf("abort reason = %v, want conflict", ab.Reason)
+	}
+	if !t0OK {
+		t.Error("responder-wins: holder should survive and commit")
+	}
+}
+
+func TestNonTxStoreDoomsTransaction(t *testing.T) {
+	e := newTestEngine(t, platform.POWER8, 2)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	a := t0.Alloc(256)
+
+	t0Read := make(chan struct{})
+	t1Done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var t0OK bool
+	var ab Abort
+	go func() {
+		defer wg.Done()
+		t0OK, ab = t0.TryTx(TxNormal, func() {
+			_ = t0.Load64(a)
+			close(t0Read)
+			<-t1Done
+			_ = t0.Load64(a)
+		})
+	}()
+	<-t0Read
+	t1.Store64(a, 77) // non-transactional conflicting store
+	close(t1Done)
+	wg.Wait()
+
+	if t0OK {
+		t.Fatal("transaction should be doomed by non-transactional store")
+	}
+	// POWER8 distinguishes non-transactional conflicts (Section 2).
+	if ab.Reason != ReasonNonTxConflict {
+		t.Errorf("abort reason = %v, want nontx-conflict", ab.Reason)
+	}
+}
+
+func TestCapacityStoreOverflowZEC12(t *testing.T) {
+	e := newTestEngine(t, platform.ZEC12, 1)
+	th := e.Thread(0)
+	// zEC12: 8 KB gathering store cache / 256 B lines = 32 store lines.
+	n := e.Platform().StoreCapacity/e.LineSize() + 1
+	a := th.Alloc(n * e.LineSize())
+	ok, ab := th.TryTx(TxNormal, func() {
+		for i := 0; i < n; i++ {
+			th.Store64(a+uint64(i*e.LineSize()), 1)
+		}
+	})
+	if ok {
+		t.Fatal("store-capacity overflow did not abort")
+	}
+	if ab.Reason != ReasonCapacityStore {
+		t.Errorf("reason = %v, want capacity-store", ab.Reason)
+	}
+	if !ab.Persistent {
+		t.Error("capacity abort should be reported persistent")
+	}
+}
+
+func TestCapacityCombinedPOWER8(t *testing.T) {
+	e := newTestEngine(t, platform.POWER8, 1)
+	th := e.Thread(0)
+	// POWER8: 64 TMCAM entries of 128 B, loads and stores combined.
+	lines := e.Platform().LoadCapacityLines()
+	if lines != 64 {
+		t.Fatalf("POWER8 capacity = %d lines, want 64", lines)
+	}
+	a := th.Alloc((lines + 1) * e.LineSize())
+	ok, ab := th.TryTx(TxNormal, func() {
+		for i := 0; i <= lines; i++ {
+			_ = th.Load64(a + uint64(i*e.LineSize()))
+		}
+	})
+	if ok {
+		t.Fatal("combined-capacity overflow did not abort")
+	}
+	if ab.Reason != ReasonCapacityLoad || !ab.Persistent {
+		t.Errorf("abort = %+v, want persistent capacity-load", ab)
+	}
+
+	// Mixed loads+stores share the budget: 32 loads + 33 stores must abort.
+	ok, _ = th.TryTx(TxNormal, func() {
+		for i := 0; i < 32; i++ {
+			_ = th.Load64(a + uint64(i*e.LineSize()))
+		}
+		for i := 32; i <= 64; i++ {
+			th.Store64(a+uint64(i*e.LineSize()), 1)
+		}
+	})
+	if ok {
+		t.Fatal("combined load+store overflow did not abort")
+	}
+
+	// Exactly 64 distinct lines, read then written, must fit (no double
+	// counting of read-then-written lines).
+	ok, ab = th.TryTx(TxNormal, func() {
+		for i := 0; i < 64; i++ {
+			addr := a + uint64(i*e.LineSize())
+			v := th.Load64(addr)
+			th.Store64(addr, v+1)
+		}
+	})
+	if !ok {
+		t.Fatalf("64-line read+write tx aborted (%v): read->write transition double-counted", ab.Reason)
+	}
+}
+
+func TestCapacityWayConflictIntel(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	spec := e.Platform()
+	// Write 9 lines that map to the same L1 set (stride = sets * lineSize).
+	stride := spec.StoreSets * e.LineSize()
+	a := th.Alloc((spec.StoreWays + 1) * stride)
+	ok, ab := th.TryTx(TxNormal, func() {
+		for i := 0; i <= spec.StoreWays; i++ {
+			th.Store64(a+uint64(i*stride), 1)
+		}
+	})
+	if ok {
+		t.Fatal("same-set store overflow did not abort")
+	}
+	if ab.Reason != ReasonCapacityWay {
+		t.Errorf("reason = %v, want capacity-way", ab.Reason)
+	}
+}
+
+func TestLargeReadSetFitsIntel(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	// 1000 load lines is far below Intel's 4 MB load capacity and must
+	// commit (loads are tracked beyond the L1; no way constraint).
+	n := 1000
+	a := th.Alloc(n * e.LineSize())
+	ok, ab := th.TryTx(TxNormal, func() {
+		for i := 0; i < n; i++ {
+			_ = th.Load64(a + uint64(i*e.LineSize()))
+		}
+	})
+	if !ok {
+		t.Fatalf("large read set aborted: %+v", ab)
+	}
+}
+
+func TestSMTSharingHalvesCapacity(t *testing.T) {
+	e := newTestEngine(t, platform.POWER8, 2)
+	// Both threads on the same core: slots 0 and 6 on a 6-core machine.
+	e2 := New(platform.New(platform.POWER8), Config{
+		Threads: 12, SpaceSize: 1 << 20, Seed: 1, CostScale: 0, DisablePrefetch: true,
+	})
+	_ = e
+	t0, t6 := e2.Thread(0), e2.Thread(6) // same core (6 % 6 == 0)
+	if t0.Core() != t6.Core() {
+		t.Fatalf("threads 0 and 6 should share core: %d vs %d", t0.Core(), t6.Core())
+	}
+	a := t0.Alloc(128 * e2.LineSize())
+
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t6.TryTx(TxNormal, func() {
+			_ = t6.Load64(a)
+			close(hold)
+			<-release
+		})
+	}()
+	<-hold
+	// With an SMT sibling in-tx, the 64-entry TMCAM halves to 32.
+	ok, ab := t0.TryTx(TxNormal, func() {
+		for i := 0; i < 40; i++ {
+			_ = t0.Load64(a + uint64((i+8)*e2.LineSize()))
+		}
+	})
+	close(release)
+	wg.Wait()
+	if ok {
+		t.Fatal("40-line tx should overflow the SMT-halved 32-entry TMCAM")
+	}
+	if ab.Reason != ReasonCapacitySMT {
+		t.Errorf("reason = %v, want capacity-smt", ab.Reason)
+	}
+}
+
+func TestSpecIDExhaustionBGQ(t *testing.T) {
+	e := newTestEngine(t, platform.BlueGeneQ, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	// Run more transactions than there are speculation IDs; the pool must
+	// reclaim (recording waits) rather than deadlock.
+	for i := 0; i < 300; i++ {
+		ok, _ := th.TryTx(TxNormal, func() { th.Store64(a, uint64(i)) })
+		if !ok {
+			t.Fatalf("tx %d aborted unexpectedly", i)
+		}
+	}
+	if e.Stats().SpecIDWaits == 0 {
+		t.Error("expected speculation-ID reclamation waits after exhausting the 128-ID pool")
+	}
+}
+
+func TestSuspendResumePOWER8(t *testing.T) {
+	e := newTestEngine(t, platform.POWER8, 2)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	shared := t0.Alloc(128)
+	txData := t0.Alloc(256)
+
+	t0Susp := make(chan struct{})
+	t1Done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var t0OK bool
+	var observed uint64
+	go func() {
+		defer wg.Done()
+		t0OK, _ = t0.TryTx(TxNormal, func() {
+			t0.Store64(txData, 1)
+			t0.Suspend()
+			close(t0Susp)
+			<-t1Done
+			observed = t0.Load64(shared) // non-transactional: no tracking
+			t0.Resume()
+			t0.Store64(txData+8, observed)
+		})
+	}()
+	<-t0Susp
+	// A non-tx store to the line T0 read while suspended must NOT doom T0.
+	t1.Store64(shared, 42)
+	close(t1Done)
+	wg.Wait()
+
+	if !t0OK {
+		t.Fatal("suspended access must not make the transaction conflict-doomable on that line")
+	}
+	if observed != 42 {
+		t.Errorf("suspended load observed %d, want 42", observed)
+	}
+}
+
+func TestRollbackOnlyIgnoresLoadConflicts(t *testing.T) {
+	e := newTestEngine(t, platform.POWER8, 2)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	shared := t0.Alloc(128)
+	out := t0.Alloc(128)
+
+	t0Read := make(chan struct{})
+	t1Done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var t0OK bool
+	go func() {
+		defer wg.Done()
+		t0OK, _ = t0.TryTx(TxRollbackOnly, func() {
+			_ = t0.Load64(shared)
+			close(t0Read)
+			<-t1Done
+			t0.Store64(out, 1)
+		})
+	}()
+	<-t0Read
+	t1.Store64(shared, 9) // would doom a normal transaction
+	close(t1Done)
+	wg.Wait()
+	if !t0OK {
+		t.Fatal("rollback-only transaction must not track loads")
+	}
+
+	// But ROT stores are still buffered and rolled back on explicit abort.
+	ok, _ := t0.TryTx(TxRollbackOnly, func() {
+		t0.Store64(out, 55)
+		t0.Abort()
+	})
+	if ok {
+		t.Fatal("explicit abort in ROT committed")
+	}
+	if got := t0.Load64(out); got != 1 {
+		t.Errorf("ROT abort left out = %d, want 1", got)
+	}
+}
+
+func TestConstrainedTxCommitsUnderContention(t *testing.T) {
+	e := newTestEngine(t, platform.ZEC12, 4)
+	counter := e.Thread(0).Alloc(256)
+	const perThread = 200
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := e.Thread(tid)
+			for j := 0; j < perThread; j++ {
+				th.RunConstrained(func() {
+					th.Store64(counter, th.Load64(counter)+1)
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := e.Thread(0).Load64(counter); got != 4*perThread {
+		t.Errorf("constrained counter = %d, want %d", got, 4*perThread)
+	}
+}
+
+func TestConstrainedTxEnforcesLimits(t *testing.T) {
+	e := newTestEngine(t, platform.ZEC12, 1)
+	th := e.Thread(0)
+	a := th.Alloc(16 * e.LineSize())
+	defer func() {
+		r := recover()
+		if _, ok := r.(*ErrConstrained); !ok {
+			t.Errorf("recover() = %v, want *ErrConstrained", r)
+		}
+	}()
+	th.RunConstrained(func() {
+		for i := 0; i < 8; i++ { // 8 lines > the 4-line constraint
+			th.Store64(a+uint64(i*e.LineSize()), 1)
+		}
+	})
+	t.Fatal("constraint violation did not panic")
+}
+
+func TestPrefetchCausesNeighborConflicts(t *testing.T) {
+	// With the prefetcher on, a transaction touching line L sometimes pulls
+	// L+1 into its read set, so a writer of L+1 dooms it — the kmeans
+	// effect of Section 5.1. Statistically: run many rounds and require at
+	// least one such abort with prefetch on, and none with it off.
+	run := func(disable bool) int {
+		e := New(platform.New(platform.IntelCore), Config{
+			Threads: 2, SpaceSize: 1 << 20, Seed: 7, CostScale: 0,
+			DisablePrefetch:         disable,
+			DisableCacheFetchAborts: true,
+		})
+		t0, t1 := e.Thread(0), e.Thread(1)
+		a := t0.Alloc(2 * e.LineSize()) // two adjacent lines
+		aborts := 0
+		for i := 0; i < 200; i++ {
+			t0Read := make(chan struct{})
+			t1Done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			var ok bool
+			go func() {
+				defer wg.Done()
+				ok, _ = t0.TryTx(TxNormal, func() {
+					_ = t0.Load64(a) // line 0; prefetch may grab line 1
+					close(t0Read)
+					<-t1Done
+					_ = t0.Load64(a)
+				})
+			}()
+			<-t0Read
+			t1.TryTx(TxNormal, func() {
+				t1.Store64(a+uint64(e.LineSize()), 1) // line 1 only
+			})
+			close(t1Done)
+			wg.Wait()
+			if !ok {
+				aborts++
+			}
+		}
+		return aborts
+	}
+	if got := run(false); got == 0 {
+		t.Error("prefetcher on: expected some neighbour-line conflict aborts")
+	}
+	if got := run(true); got != 0 {
+		t.Errorf("prefetcher off: got %d neighbour-line aborts, want 0", got)
+	}
+}
+
+func TestCacheFetchAbortsZEC12(t *testing.T) {
+	e := New(platform.New(platform.ZEC12), Config{
+		Threads: 1, SpaceSize: 1 << 20, Seed: 3, CostScale: 0,
+	})
+	th := e.Thread(0)
+	a := th.Alloc(16 * e.LineSize())
+	sawAbort := false
+	for i := 0; i < 2000 && !sawAbort; i++ {
+		ok, ab := th.TryTx(TxNormal, func() {
+			for j := 0; j < 16; j++ {
+				th.Store64(a+uint64(j*e.LineSize()), uint64(j))
+			}
+		})
+		if !ok && ab.Reason == ReasonCacheFetch {
+			sawAbort = true
+		}
+	}
+	if !sawAbort {
+		t.Error("zEC12 model produced no cache-fetch-related aborts in 2000 txs")
+	}
+}
+
+// TestConcurrentCounterStress hammers one counter from many threads with a
+// naive retry loop; the committed total must be exact on every platform.
+func TestConcurrentCounterStress(t *testing.T) {
+	for _, k := range platform.Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			e := newTestEngine(t, k, 8)
+			counter := e.Thread(0).Alloc(512)
+			const perThread = 500
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					th := e.Thread(tid)
+					for j := 0; j < perThread; j++ {
+						for {
+							ok, _ := th.TryTx(TxNormal, func() {
+								th.Store64(counter, th.Load64(counter)+1)
+							})
+							if ok {
+								break
+							}
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			if got := e.Thread(0).Load64(counter); got != 8*perThread {
+				t.Errorf("counter = %d, want %d", got, 8*perThread)
+			}
+			s := e.Stats()
+			if s.Commits != 8*perThread {
+				t.Errorf("commits = %d, want %d", s.Commits, 8*perThread)
+			}
+			if s.Begins != s.Commits+s.Aborts {
+				t.Errorf("begins=%d != commits+aborts=%d", s.Begins, s.Commits+s.Aborts)
+			}
+		})
+	}
+}
+
+// TestBankInvariantStress moves money among accounts under contention; total
+// balance is invariant if isolation holds.
+func TestBankInvariantStress(t *testing.T) {
+	for _, k := range platform.Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			e := newTestEngine(t, k, 4)
+			const nAcct = 32
+			const initial = 1000
+			base := e.Thread(0).Alloc(nAcct * 8)
+			for i := 0; i < nAcct; i++ {
+				e.Thread(0).Store64(base+uint64(i*8), initial)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					th := e.Thread(tid)
+					rng := th.Rand()
+					for j := 0; j < 1000; j++ {
+						from := uint64(rng.Intn(nAcct))
+						to := uint64(rng.Intn(nAcct))
+						amt := uint64(rng.Intn(10))
+						for {
+							ok, _ := th.TryTx(TxNormal, func() {
+								f := th.Load64(base + from*8)
+								if f < amt {
+									return
+								}
+								th.Store64(base+from*8, f-amt)
+								th.Store64(base+to*8, th.Load64(base+to*8)+amt)
+							})
+							if ok {
+								break
+							}
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			var total uint64
+			for i := 0; i < nAcct; i++ {
+				total += e.Thread(0).Load64(base + uint64(i*8))
+			}
+			if total != nAcct*initial {
+				t.Errorf("total balance = %d, want %d (isolation violated)", total, nAcct*initial)
+			}
+		})
+	}
+}
+
+func TestStatsFootprintTracking(t *testing.T) {
+	e := newTestEngine(t, platform.ZEC12, 1)
+	th := e.Thread(0)
+	a := th.Alloc(20 * e.LineSize())
+	th.TryTx(TxNormal, func() {
+		for i := 0; i < 10; i++ {
+			_ = th.Load64(a + uint64(i*e.LineSize()))
+		}
+		for i := 10; i < 15; i++ {
+			th.Store64(a+uint64(i*e.LineSize()), 1)
+		}
+	})
+	s := e.Stats()
+	if s.MaxReadLines < 10 {
+		t.Errorf("MaxReadLines = %d, want >= 10", s.MaxReadLines)
+	}
+	if s.MaxWriteLines != 5 {
+		t.Errorf("MaxWriteLines = %d, want 5", s.MaxWriteLines)
+	}
+	if s.TxLoads != 10 || s.TxStores != 5 {
+		t.Errorf("TxLoads/TxStores = %d/%d, want 10/5", s.TxLoads, s.TxStores)
+	}
+}
+
+func TestNestedBeginPanics(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("nested TryTx did not panic")
+		}
+		// The outer transaction's bookkeeping must have been rolled back.
+		if th.InTx() {
+			t.Error("thread left in-tx after panic")
+		}
+	}()
+	th.TryTx(TxNormal, func() {
+		th.TryTx(TxNormal, func() {})
+	})
+}
+
+func TestCompareAndSwapNonTx(t *testing.T) {
+	e := newTestEngine(t, platform.ZEC12, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	th.Store64(a, 10)
+	if !th.CompareAndSwap64(a, 10, 20) {
+		t.Error("CAS with matching old failed")
+	}
+	if th.CompareAndSwap64(a, 10, 30) {
+		t.Error("CAS with stale old succeeded")
+	}
+	if got := th.Load64(a); got != 20 {
+		t.Errorf("value = %d, want 20", got)
+	}
+}
+
+func TestEngineLineSizeBGQModes(t *testing.T) {
+	short := New(platform.New(platform.BlueGeneQ), Config{Threads: 1, Mode: platform.ShortRunning, CostScale: 0})
+	long := New(platform.New(platform.BlueGeneQ), Config{Threads: 1, Mode: platform.LongRunning, CostScale: 0})
+	if short.LineSize() != 64 {
+		t.Errorf("short-running granularity = %d, want 64", short.LineSize())
+	}
+	if long.LineSize() != 128 {
+		t.Errorf("long-running granularity = %d, want 128", long.LineSize())
+	}
+}
+
+func TestTable1Parameters(t *testing.T) {
+	// Guard the Table 1 numbers against accidental edits.
+	cases := []struct {
+		kind       platform.Kind
+		line       int
+		loadCap    int
+		storeCap   int
+		cores, smt int
+	}{
+		{platform.BlueGeneQ, 128, 20 << 20 / 16, 20 << 20 / 16, 16, 4},
+		{platform.ZEC12, 256, 1 << 20, 8 << 10, 16, 1},
+		{platform.IntelCore, 64, 4 << 20, 22 << 10, 4, 2},
+		{platform.POWER8, 128, 8 << 10, 8 << 10, 6, 8},
+	}
+	for _, c := range cases {
+		s := platform.New(c.kind)
+		if s.LineSize != c.line || s.LoadCapacity != c.loadCap || s.StoreCapacity != c.storeCap ||
+			s.Cores != c.cores || s.SMT != c.smt {
+			t.Errorf("%v: got line=%d load=%d store=%d cores=%d smt=%d, want %+v",
+				c.kind, s.LineSize, s.LoadCapacity, s.StoreCapacity, s.Cores, s.SMT, c)
+		}
+	}
+}
+
+func TestStrongIsolationSequentialFastPath(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	th.Store64(a, 5)
+	if got := th.Load64(a); got != 5 {
+		t.Errorf("non-tx roundtrip = %d, want 5", got)
+	}
+	var addr mem.Addr = a + 4
+	th.Store32(addr, 9)
+	if got := th.Load32(addr); got != 9 {
+		t.Errorf("32-bit roundtrip = %d, want 9", got)
+	}
+	th.Store8(a+1, 200)
+	if got := th.Load8(a + 1); got != 200 {
+		t.Errorf("8-bit roundtrip = %d, want 200", got)
+	}
+	th.StoreFloat64(a+16, 3.25)
+	if got := th.LoadFloat64(a + 16); got != 3.25 {
+		t.Errorf("float roundtrip = %v, want 3.25", got)
+	}
+	th.StoreInt64(a+24, -7)
+	if got := th.LoadInt64(a + 24); got != -7 {
+		t.Errorf("int64 roundtrip = %v, want -7", got)
+	}
+}

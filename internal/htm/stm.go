@@ -1,0 +1,243 @@
+package htm
+
+import (
+	"encoding/binary"
+
+	"htmcmp/internal/mem"
+)
+
+// Software transactional memory: a NOrec-style runtime (Dalessandro, Spear,
+// Scott, PPoPP 2010 — reference [15] of the paper) over the same simulated
+// memory and the same Thread access API as the HTM models.
+//
+// The paper's premise (Sections 1 and 8) is that HTM exists because STM's
+// per-access instrumentation is too expensive, while STM has no capacity
+// limits and is portable. Running the same STAMP ports under NOrec makes
+// that trade-off measurable: TrySTM has value-based word-granularity
+// conflict detection (no false sharing, no capacity aborts, no cache-fetch
+// weirdness) but pays instrumentation on every load and store and validates
+// its whole read log whenever the global sequence lock moves.
+//
+// NOrec in brief: one global sequence lock (even = free). A transaction
+// snapshots it at begin; every transactional load is logged (address,
+// value); whenever the lock is observed to have moved, the read log is
+// re-validated by value and the snapshot advances (abort on any change).
+// Stores go to a write buffer. Commit acquires the lock by CAS, making the
+// writer exclusive, re-validates if needed, writes back, and releases with
+// snapshot+2. Read-only transactions commit without touching the lock.
+
+// STM instrumentation costs in cycles, on top of the base access cost.
+// Scaled by Config.CostScale like the platform costs.
+const (
+	stmLoadCost     = 9  // read-log append + lock check
+	stmStoreCost    = 5  // write-buffer insert
+	stmValidateCost = 2  // per read-log entry re-read and compare
+	stmBeginCost    = 6  // snapshot
+	stmCommitCost   = 25 // lock CAS + release
+	stmAbortCost    = 30 // log reset + restart
+)
+
+// stmEntry is one read-log record.
+type stmEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+// stmState is the per-thread NOrec context (embedded in Thread).
+type stmState struct {
+	active   bool
+	snapshot uint64
+	readLog  []stmEntry
+	writes   map[mem.Addr]uint64 // word-aligned address -> value
+	order    []mem.Addr          // write-back order
+}
+
+// InSTM reports whether a software transaction is active on this thread.
+func (t *Thread) InSTM() bool { return t.stm.active }
+
+// TrySTM runs fn as one NOrec software transaction attempt. Like TryTx it
+// returns (false, abort) on a validation failure with all stores discarded;
+// unlike best-effort HTM there are no capacity or implementation aborts —
+// the only reason is ReasonConflict. RunSTM in internal/tm retries until
+// commit (NOrec guarantees progress for writers once the lock is held).
+func (t *Thread) TrySTM(fn func()) (committed bool, abort Abort) {
+	if t.inTx || t.stm.active {
+		panic("htm: nested transaction begin")
+	}
+	t.stmBegin()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				t.stmRollback()
+				panic(r)
+			}
+			t.stmRollback()
+			committed, abort = false, t.pendingAbort
+		}
+	}()
+	fn()
+	t.stmCommit()
+	return true, Abort{}
+}
+
+func (t *Thread) stmBegin() {
+	if t.stm.writes == nil {
+		t.stm.writes = make(map[mem.Addr]uint64, 32)
+	}
+	t.stm.active = true
+	t.stm.readLog = t.stm.readLog[:0]
+	t.stm.order = t.stm.order[:0]
+	for a := range t.stm.writes {
+		delete(t.stm.writes, a)
+	}
+	t.pendingAbort = Abort{}
+	t.stats.Begins++
+	t.work(t.eng.scaledCost(stmBeginCost))
+	// Snapshot an even (unlocked) sequence number.
+	for {
+		s := t.eng.stmSeq.Load()
+		if s&1 == 0 {
+			t.stm.snapshot = s
+			return
+		}
+		t.Pause(4)
+	}
+}
+
+func (t *Thread) stmRollback() {
+	t.stm.active = false
+	t.stats.Aborts++
+	t.stats.AbortsByReason[t.pendingAbort.Reason]++
+	for _, a := range t.allocs {
+		t.eng.space.FreeArena(a, t.slot)
+	}
+	t.allocs = t.allocs[:0]
+	t.frees = t.frees[:0]
+	t.work(t.eng.scaledCost(stmAbortCost))
+}
+
+// stmValidate re-reads the whole read log after the sequence lock moved; a
+// changed value aborts, otherwise the snapshot advances (NOrec's value-based
+// validation).
+func (t *Thread) stmValidate() {
+	for {
+		s := t.eng.stmSeq.Load()
+		if s&1 == 1 {
+			t.Pause(4)
+			continue
+		}
+		t.work(t.eng.scaledCost(stmValidateCost) * (len(t.stm.readLog) + 1))
+		data := t.eng.space.Data()
+		for _, ent := range t.stm.readLog {
+			if binary.LittleEndian.Uint64(data[ent.addr:]) != ent.val {
+				t.abortNow(ReasonConflict, false)
+			}
+		}
+		if t.eng.stmSeq.Load() == s {
+			t.stm.snapshot = s
+			return
+		}
+	}
+}
+
+// stmLoadWord performs a NOrec transactional load of the aligned word at a.
+func (t *Thread) stmLoadWord(a mem.Addr) uint64 {
+	if v, ok := t.stm.writes[a]; ok {
+		return v
+	}
+	t.work(t.eng.scaledCost(stmLoadCost))
+	t.maybeYield()
+	t.stats.TxLoads++
+	for {
+		v := binary.LittleEndian.Uint64(t.eng.space.Data()[a:])
+		if t.eng.stmSeq.Load() == t.stm.snapshot {
+			t.stm.readLog = append(t.stm.readLog, stmEntry{addr: a, val: v})
+			return v
+		}
+		t.stmValidate()
+	}
+}
+
+// stmStoreWord buffers a NOrec transactional store of the aligned word at a.
+func (t *Thread) stmStoreWord(a mem.Addr, v uint64) {
+	t.work(t.eng.scaledCost(stmStoreCost))
+	t.maybeYield()
+	t.stats.TxStores++
+	if _, ok := t.stm.writes[a]; !ok {
+		t.stm.order = append(t.stm.order, a)
+	}
+	t.stm.writes[a] = v
+}
+
+func (t *Thread) stmCommit() {
+	st := &t.stm
+	if len(st.order) == 0 {
+		// Read-only: NOrec commits without the lock.
+		st.active = false
+		t.stats.Commits++
+		t.work(t.eng.scaledCost(stmCommitCost) / 2)
+		t.allocs = t.allocs[:0]
+		t.frees = t.frees[:0]
+		return
+	}
+	// Acquire the sequence lock from our snapshot; a failed CAS means the
+	// clock moved, so validate (advancing the snapshot) and try again.
+	for !t.eng.stmSeq.CompareAndSwap(st.snapshot, st.snapshot+1) {
+		t.stmValidate()
+	}
+	// Exclusive: write back in order. No yields while the lock is odd so
+	// the critical section stays short (as a real NOrec's would).
+	data := t.eng.space.Data()
+	for _, a := range st.order {
+		binary.LittleEndian.PutUint64(data[a:], st.writes[a])
+	}
+	t.work(t.eng.scaledCost(stmCommitCost) + len(st.order))
+	t.eng.stmSeq.Store(st.snapshot + 2)
+	st.active = false
+	t.stats.Commits++
+	if s := t.eng.cfg.FootprintSampler; s != nil {
+		s(len(st.readLog), len(st.order))
+	}
+	for _, a := range t.frees {
+		t.eng.space.FreeArena(a, t.slot)
+	}
+	t.frees = t.frees[:0]
+	t.allocs = t.allocs[:0]
+	t.maybeYield()
+}
+
+// stmLoad/stmStore adapt sub-word accesses to the word-granularity logs.
+
+func (t *Thread) stmLoadBytes(a mem.Addr, n int) uint64 {
+	word := a &^ 7
+	shift := (a - word) * 8
+	v := t.stmLoadWord(word) >> shift
+	switch n {
+	case 1:
+		return v & 0xff
+	case 4:
+		return v & 0xffffffff
+	default:
+		return v
+	}
+}
+
+func (t *Thread) stmStoreBytes(a mem.Addr, n int, v uint64) {
+	word := a &^ 7
+	if a == word && n == 8 {
+		t.stmStoreWord(word, v)
+		return
+	}
+	shift := (a - word) * 8
+	var mask uint64
+	switch n {
+	case 1:
+		mask = 0xff
+	case 4:
+		mask = 0xffffffff
+	default:
+		mask = ^uint64(0)
+	}
+	old := t.stmLoadWord(word)
+	t.stmStoreWord(word, (old &^ (mask << shift)) | ((v & mask) << shift))
+}

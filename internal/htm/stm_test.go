@@ -1,0 +1,232 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"htmcmp/internal/platform"
+)
+
+func stmEngine(t *testing.T, threads int) *Engine {
+	t.Helper()
+	return New(platform.New(platform.ZEC12), Config{
+		Threads: threads, SpaceSize: 8 << 20, Seed: 21, CostScale: 0,
+		DisableCacheFetchAborts: true,
+	})
+}
+
+func TestSTMCommitAndRollback(t *testing.T) {
+	e := stmEngine(t, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	th.Store64(a, 5)
+
+	ok, _ := th.TrySTM(func() {
+		th.Store64(a, 9)
+		if got := th.Load64(a); got != 9 {
+			t.Errorf("read-own-write = %d", got)
+		}
+	})
+	if !ok {
+		t.Fatal("uncontended STM tx aborted")
+	}
+	if got := th.Load64(a); got != 9 {
+		t.Errorf("after commit = %d", got)
+	}
+
+	ok, ab := th.TrySTM(func() {
+		th.Store64(a, 77)
+		th.Abort()
+	})
+	if ok {
+		t.Fatal("explicitly aborted STM tx committed")
+	}
+	if ab.Reason != ReasonExplicit {
+		t.Errorf("abort reason = %v", ab.Reason)
+	}
+	if got := th.Load64(a); got != 9 {
+		t.Errorf("store leaked from aborted STM tx: %d", got)
+	}
+}
+
+func TestSTMSubWordAccesses(t *testing.T) {
+	e := stmEngine(t, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	ok, _ := th.TrySTM(func() {
+		th.Store8(a+3, 0xAB)
+		th.Store32(a+12, 0xDEADBEEF)
+		th.StoreFloat64(a+16, 2.5)
+		if th.Load8(a+3) != 0xAB || th.Load32(a+12) != 0xDEADBEEF || th.LoadFloat64(a+16) != 2.5 {
+			t.Error("sub-word read-own-write mismatch")
+		}
+	})
+	if !ok {
+		t.Fatal("tx aborted")
+	}
+	if th.Load8(a+3) != 0xAB || th.Load32(a+12) != 0xDEADBEEF || th.LoadFloat64(a+16) != 2.5 {
+		t.Error("sub-word values lost after commit")
+	}
+	// Neighbouring bytes untouched.
+	if th.Load8(a+2) != 0 || th.Load8(a+4) != 0 {
+		t.Error("sub-word store clobbered neighbours")
+	}
+}
+
+func TestSTMValidationDetectsConflict(t *testing.T) {
+	e := stmEngine(t, 2)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	a := t0.Alloc(64)
+	t0.Store64(a, 1)
+
+	read := make(chan struct{})
+	wrote := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstAttemptAborted bool
+	attempt := 0
+	go func() {
+		defer wg.Done()
+		for {
+			ok, _ := t0.TrySTM(func() {
+				attempt++
+				v := t0.Load64(a)
+				if attempt == 1 {
+					close(read)
+					<-wrote
+				}
+				// A second load after the writer's commit must trigger
+				// NOrec validation and abort attempt 1.
+				_ = t0.Load64(a + 8)
+				t0.Store64(a+16, v)
+			})
+			if ok {
+				break
+			}
+			firstAttemptAborted = true
+		}
+	}()
+	<-read
+	ok, _ := t1.TrySTM(func() { t1.Store64(a, 42) })
+	if !ok {
+		t.Error("writer aborted unexpectedly")
+	}
+	close(wrote)
+	wg.Wait()
+	if !firstAttemptAborted {
+		t.Error("stale read survived a concurrent committed write (validation broken)")
+	}
+	// The retried tx must have seen the new value.
+	if got := t0.Load64(a + 16); got != 42 {
+		t.Errorf("retried tx stored %d, want 42", got)
+	}
+}
+
+func TestSTMCounterStress(t *testing.T) {
+	e := stmEngine(t, 8)
+	counter := e.Thread(0).Alloc(64)
+	const perThread = 400
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := e.Thread(tid)
+			for j := 0; j < perThread; j++ {
+				for {
+					ok, _ := th.TrySTM(func() {
+						th.Store64(counter, th.Load64(counter)+1)
+					})
+					if ok {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := e.Thread(0).Load64(counter); got != 8*perThread {
+		t.Errorf("counter = %d, want %d", got, 8*perThread)
+	}
+}
+
+func TestSTMNoCapacityLimit(t *testing.T) {
+	// 1000 store lines would overflow every HTM model; NOrec must commit.
+	e := stmEngine(t, 1)
+	th := e.Thread(0)
+	n := 1000
+	a := th.Alloc(n * e.LineSize())
+	ok, ab := th.TrySTM(func() {
+		for i := 0; i < n; i++ {
+			th.Store64(a+uint64(i*e.LineSize()), uint64(i))
+		}
+	})
+	if !ok {
+		t.Fatalf("large STM tx aborted: %+v", ab)
+	}
+	for i := 0; i < n; i++ {
+		if th.Load64(a+uint64(i*e.LineSize())) != uint64(i) {
+			t.Fatalf("write %d lost", i)
+		}
+	}
+}
+
+func TestSTMWordGranularityNoFalseConflicts(t *testing.T) {
+	// Two threads repeatedly write ADJACENT WORDS of one cache line: every
+	// HTM model conflicts (false sharing); NOrec's value-based validation
+	// must commit both with zero aborts when writes do not overlap.
+	e := stmEngine(t, 2)
+	a := e.Thread(0).Alloc(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := e.Thread(tid)
+			addr := a + uint64(tid*8)
+			for j := 0; j < 300; j++ {
+				for {
+					ok, _ := th.TrySTM(func() {
+						th.Store64(addr, th.Load64(addr)+1)
+					})
+					if ok {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	t0 := e.Thread(0)
+	if t0.Load64(a) != 300 || t0.Load64(a+8) != 300 {
+		t.Errorf("counters = %d,%d want 300,300", t0.Load64(a), t0.Load64(a+8))
+	}
+	// Value-based validation can still abort on timing, but word-disjoint
+	// writes commit exactly; correctness is the invariant here.
+}
+
+func TestSTMAllocReclaimOnAbort(t *testing.T) {
+	e := stmEngine(t, 1)
+	th := e.Thread(0)
+	before := e.Space().Used()
+	th.TrySTM(func() {
+		th.Alloc(256)
+		th.Abort()
+	})
+	if after := e.Space().Used(); after != before {
+		t.Errorf("aborted STM tx leaked %d bytes", after-before)
+	}
+}
+
+func TestSTMNestedPanics(t *testing.T) {
+	e := stmEngine(t, 1)
+	th := e.Thread(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("nested STM begin did not panic")
+		}
+	}()
+	th.TrySTM(func() {
+		th.TrySTM(func() {})
+	})
+}

@@ -1,0 +1,1130 @@
+package htm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"htmcmp/internal/mem"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/prng"
+)
+
+// TxKind selects the transaction flavour at begin.
+type TxKind int
+
+const (
+	// TxNormal is an ordinary best-effort transaction.
+	TxNormal TxKind = iota
+	// TxRollbackOnly is POWER8's rollback-only transaction: stores are
+	// buffered and rolled back, but loads are not tracked and detect no
+	// conflicts (Section 2.4).
+	TxRollbackOnly
+	// TxConstrained is a zEC12 constrained transaction: at most 32
+	// accesses touching at most 4 lines, but guaranteed to eventually
+	// commit (Section 2.2). Run through Thread.RunConstrained.
+	TxConstrained
+)
+
+// abortSignal is the panic payload that unwinds a transaction to its begin
+// point, mirroring the hardware register rollback.
+type abortSignal struct{}
+
+// ErrConstrained reports a constrained-transaction constraint violation.
+// Unlike an abort, this is a programming error (real hardware would raise a
+// constraint interrupt), so it surfaces as a regular panic value.
+type ErrConstrained struct{ Msg string }
+
+func (e *ErrConstrained) Error() string { return "htm: constrained transaction: " + e.Msg }
+
+// Thread is one hardware-thread context. All transactional and
+// strongly-isolated non-transactional memory accesses of a goroutine go
+// through its Thread. A Thread must not be shared by concurrent goroutines.
+type Thread struct {
+	eng  *Engine
+	slot int
+	core int
+	rng  *prng.Rand
+
+	status     atomic.Int32
+	doomReason atomic.Int32
+
+	// Virtual-time scheduling state.
+	vclock        uint64
+	gate          chan struct{}
+	entered       bool
+	opsSinceYield int
+
+	inTx        bool
+	stm         stmState // NOrec software-transaction context (stm.go)
+	kind        TxKind
+	hardened    bool // constrained tx under the arbiter: immune to dooming
+	suspendCnt  int  // POWER8 suspend/resume depth
+	accessCount int  // constrained-tx instruction budget
+
+	// reads maps line -> counted; counted=false means the line entered the
+	// read set via the hardware prefetcher (conflict-detectable but not
+	// charged against capacity).
+	reads           map[uint32]bool
+	writes          map[uint32][]byte
+	readOrder       []uint32
+	writeOrder      []uint32
+	readsCounted    int
+	storeSetCnt     map[uint32]int
+	bufPool         [][]byte
+	specID          int
+	pendingAbort    Abort
+	allocs          []mem.Addr
+	frees           []mem.Addr
+	stats           Stats
+	loadCostPerOp   int
+	storeCostPerOp  int
+	beginCost       int
+	commitCost      int
+	abortCost       int
+	prefetchProb    float64
+	cacheFetchProb  float64
+}
+
+func newThread(e *Engine, slot int) *Thread {
+	t := &Thread{
+		eng:         e,
+		slot:        slot,
+		core:        e.plat.CoreOf(slot),
+		rng:         e.rngFor(slot),
+		gate:        make(chan struct{}, 1),
+		reads:       make(map[uint32]bool, 64),
+		writes:      make(map[uint32][]byte, 32),
+		storeSetCnt: make(map[uint32]int, 16),
+		specID:      -1,
+	}
+	c := e.plat.Costs
+	t.beginCost = e.scaledCost(c.Begin)
+	t.commitCost = e.scaledCost(c.Commit)
+	t.abortCost = e.scaledCost(c.Abort)
+	t.loadCostPerOp = e.scaledCost(c.TxLoad)
+	t.storeCostPerOp = e.scaledCost(c.TxStore)
+	if e.plat.Kind == platform.BlueGeneQ && e.cfg.Mode == platform.LongRunning {
+		t.beginCost = e.scaledCost(e.plat.BeginLong)
+		t.loadCostPerOp = 0 // L1 serves transactional loads in long mode
+	}
+	if !e.cfg.DisablePrefetch {
+		t.prefetchProb = e.plat.PrefetchProb
+	}
+	if !e.cfg.DisableCacheFetchAborts {
+		t.cacheFetchProb = e.plat.CacheFetchAbortProb
+	}
+	return t
+}
+
+// Engine returns the owning engine.
+func (t *Thread) Engine() *Engine { return t.eng }
+
+// Slot returns this thread's hardware-thread index.
+func (t *Thread) Slot() int { return t.slot }
+
+// Core returns the physical core this thread runs on.
+func (t *Thread) Core() int { return t.core }
+
+// Rand returns the thread's deterministic PRNG (for workload use).
+func (t *Thread) Rand() *prng.Rand { return t.rng }
+
+// InTx reports whether a transaction is active on this thread.
+func (t *Thread) InTx() bool { return t.inTx }
+
+// Stats returns a copy of this thread's counters.
+func (t *Thread) Stats() Stats { return t.stats }
+
+// Clock returns the thread's virtual clock in cost units (meaningful in
+// virtual mode).
+func (t *Thread) Clock() uint64 { return t.vclock }
+
+// FootprintLines reports the current transaction's footprint in distinct
+// conflict-detection lines (reads excluding prefetches, writes). Outside a
+// transaction both are zero. Intended for analysis tooling.
+func (t *Thread) FootprintLines() (readLines, writeLines int) {
+	return t.readsCounted, len(t.writes)
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time participation
+
+// Register announces that this thread will join the scheduled region. It
+// must be called from the spawning goroutine for every worker *before* any
+// of them starts, so the scheduler's membership is complete from the first
+// instruction. A no-op in real-concurrency mode.
+func (t *Thread) Register() {
+	if t.eng.sched != nil {
+		t.eng.sched.register(t)
+	}
+}
+
+// BeginWork is a worker goroutine's first call: it waits for the baton in
+// virtual mode. A no-op in real-concurrency mode.
+func (t *Thread) BeginWork() {
+	if t.eng.sched != nil {
+		t.eng.sched.begin(t)
+	}
+	t.entered = true
+}
+
+// ExitWork leaves the scheduled region, handing the baton on.
+func (t *Thread) ExitWork() {
+	t.entered = false
+	if t.eng.sched != nil {
+		t.eng.sched.exit(t)
+	}
+}
+
+// work charges n cost units of virtual time (or burns real CPU in
+// real-concurrency mode) without a yield point.
+func (t *Thread) work(n int) {
+	if n <= 0 {
+		return
+	}
+	if t.eng.sched != nil {
+		t.vclock += uint64(n)
+		return
+	}
+	spin(n)
+}
+
+// maybeYield is a voluntary scheduling point (no Go locks may be held).
+func (t *Thread) maybeYield() {
+	if t.eng.sched == nil || !t.entered {
+		return
+	}
+	t.opsSinceYield++
+	if t.opsSinceYield >= t.eng.sched.quantum {
+		t.opsSinceYield = 0
+		t.eng.sched.yield(t)
+	}
+}
+
+// baseAccessCost is the cost of one memory access in cycles (an L1 hit).
+const baseAccessCost = 4
+
+// roAccessCost is the cost of a read-only cached access (LoadRO*): hot
+// shared lines that hardware serves without coherence traffic.
+const roAccessCost = 2
+
+// tickOp charges one memory access (base cost plus extra) and counts it
+// toward the yield quantum.
+func (t *Thread) tickOp(extra int) {
+	t.work(baseAccessCost + extra)
+	t.maybeYield()
+}
+
+// tickRO charges a read-only cached access.
+func (t *Thread) tickRO() {
+	t.work(roAccessCost)
+	t.maybeYield()
+}
+
+// Work charges n cost units of workload computation (the benchmark's
+// non-memory arithmetic) and allows a reschedule. Benchmarks use it so the
+// compute between memory accesses occupies virtual time.
+func (t *Thread) Work(n int) {
+	t.work(n)
+	t.maybeYield()
+}
+
+// Pause charges n cost units and always offers the processor to another
+// thread — the spin-wait primitive for lock waits and TLS ordering waits.
+func (t *Thread) Pause(n int) {
+	t.work(n)
+	if t.eng.sched != nil {
+		if t.entered {
+			t.opsSinceYield = 0
+			t.eng.sched.yield(t)
+		}
+		return
+	}
+	runtime.Gosched()
+}
+
+// ---------------------------------------------------------------------------
+// Transaction lifecycle
+
+// TryTx runs fn as one transaction attempt of the given kind. It returns
+// (true, zero Abort) on commit, or (false, abort info) if the transaction
+// aborted — in which case all its stores have been rolled back, exactly like
+// a hardware abort returning to the instruction after tbegin. Retry policy
+// is the caller's job (internal/tm implements the paper's Figure 1).
+func (t *Thread) TryTx(kind TxKind, fn func()) (committed bool, abort Abort) {
+	if t.inTx {
+		panic("htm: nested transaction begin (STAMP uses flat transactions)")
+	}
+	t.begin(kind)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				// A real panic (workload bug): roll back bookkeeping so
+				// the engine stays consistent, then re-panic.
+				t.rollback()
+				panic(r)
+			}
+			t.rollback()
+			committed, abort = false, t.pendingAbort
+		}
+	}()
+	fn()
+	t.commit()
+	return true, Abort{}
+}
+
+// RunConstrained runs fn as a zEC12 constrained transaction, retrying until
+// it commits — the hardware guarantee of Section 2.2. fn must respect the
+// constraints (≤32 accesses, ≤4 lines) or the call panics with
+// *ErrConstrained. It returns the number of aborts endured before success.
+func (t *Thread) RunConstrained(fn func()) int {
+	if !t.eng.plat.HasConstrainedTx {
+		panic("htm: constrained transactions are a zEC12 feature")
+	}
+	aborts := 0
+	for attempt := 0; ; attempt++ {
+		if attempt == 4 {
+			// Hardware escalates progressively (disabling superscalar
+			// execution, fetching lines exclusively, finally quiescing
+			// other CPUs). We model the endpoint: one arbitrated,
+			// doom-immune attempt at a time.
+			t.eng.lockArbiter(t)
+			t.hardened = true
+		}
+		ok, _ := t.TryTx(TxConstrained, fn)
+		if t.hardened {
+			t.hardened = false
+			t.eng.unlockArbiter()
+		}
+		if ok {
+			return aborts
+		}
+		aborts++
+		t.Pause(1 << uint(min(attempt, 10))) // exponential backoff
+	}
+}
+
+func (t *Thread) begin(kind TxKind) {
+	if t.eng.specPool != nil {
+		waited := t.eng.specPool.acquire(t)
+		if waited {
+			t.stats.SpecIDWaits++
+		}
+	}
+	t.inTx = true
+	t.kind = kind
+	t.accessCount = 0
+	t.pendingAbort = Abort{}
+	t.doomReason.Store(int32(ReasonNone))
+	t.status.Store(statusActive)
+	t.eng.cores[t.core].activeTx.Add(1)
+	t.eng.activeTx.Add(1)
+	t.stats.Begins++
+	t.work(t.beginCost)
+}
+
+// commit publishes buffered stores and releases ownership. A committing
+// transaction is immune to dooming: conflicting requesters abort instead.
+func (t *Thread) commit() {
+	if !t.status.CompareAndSwap(statusActive, statusCommitting) {
+		// Doomed between the last access and commit.
+		t.abortNow(Reason(t.doomReason.Load()), false)
+	}
+	// Publish written lines one at a time under their shard locks. Eager
+	// dooming guarantees no live transaction still holds any of these
+	// lines, and new requesters see us as a committing writer and abort
+	// themselves, so per-line publication is globally safe.
+	data := t.eng.space.Data()
+	for _, line := range t.writeOrder {
+		sh := t.eng.shardOf(line)
+		sh.Lock()
+		base := uint64(line) << t.eng.lineShift
+		end := base + uint64(t.eng.lineSize)
+		if end > uint64(len(data)) {
+			end = uint64(len(data))
+		}
+		copy(data[base:end], t.writes[line])
+		rec := &t.eng.lines[line]
+		rec.writer = -1
+		rec.clearReader(t.slot)
+		sh.Unlock()
+	}
+	for _, line := range t.readOrder {
+		if _, written := t.writes[line]; written {
+			continue // released above
+		}
+		sh := t.eng.shardOf(line)
+		sh.Lock()
+		t.eng.lines[line].clearReader(t.slot)
+		sh.Unlock()
+	}
+	if s := t.eng.cfg.FootprintSampler; s != nil {
+		s(t.readsCounted, len(t.writes))
+	}
+	t.finishTx()
+	t.stats.Commits++
+	// Deferred frees become visible only now that the transaction is
+	// durable (STAMP's TM_FREE semantics).
+	for _, a := range t.frees {
+		t.eng.space.FreeArena(a, t.slot)
+	}
+	t.frees = t.frees[:0]
+	t.allocs = t.allocs[:0]
+	t.status.Store(statusIdle)
+	t.work(t.commitCost)
+}
+
+// rollback discards buffered state after an abort.
+func (t *Thread) rollback() {
+	for _, line := range t.writeOrder {
+		sh := t.eng.shardOf(line)
+		sh.Lock()
+		rec := &t.eng.lines[line]
+		if rec.writer == int32(t.slot) {
+			rec.writer = -1
+		}
+		rec.clearReader(t.slot)
+		sh.Unlock()
+		t.bufPool = append(t.bufPool, t.writes[line])
+	}
+	for _, line := range t.readOrder {
+		if _, written := t.writes[line]; written {
+			continue
+		}
+		sh := t.eng.shardOf(line)
+		sh.Lock()
+		t.eng.lines[line].clearReader(t.slot)
+		sh.Unlock()
+	}
+	t.finishTx()
+	t.stats.Aborts++
+	t.stats.AbortsByReason[t.pendingAbort.Reason]++
+	// Transactionally allocated blocks never became visible; reclaim them.
+	for _, a := range t.allocs {
+		t.eng.space.FreeArena(a, t.slot)
+	}
+	t.allocs = t.allocs[:0]
+	t.frees = t.frees[:0]
+	t.status.Store(statusIdle)
+	t.work(t.abortCost)
+}
+
+// finishTx clears the per-transaction tracking state common to commit and
+// rollback and releases SMT/spec-ID resources.
+func (t *Thread) finishTx() {
+	if n := len(t.reads); n > t.stats.MaxReadLines {
+		t.stats.MaxReadLines = n
+	}
+	if n := len(t.writes); n > t.stats.MaxWriteLines {
+		t.stats.MaxWriteLines = n
+	}
+	for line := range t.reads {
+		delete(t.reads, line)
+	}
+	for line := range t.writes {
+		delete(t.writes, line)
+	}
+	for s := range t.storeSetCnt {
+		delete(t.storeSetCnt, s)
+	}
+	t.readOrder = t.readOrder[:0]
+	t.writeOrder = t.writeOrder[:0]
+	t.readsCounted = 0
+	t.suspendCnt = 0
+	t.inTx = false
+	t.eng.cores[t.core].activeTx.Add(-1)
+	t.eng.activeTx.Add(-1)
+	if t.eng.specPool != nil && t.specID >= 0 {
+		t.eng.specPool.release(t.specID)
+		t.specID = -1
+	}
+}
+
+// abortNow records the abort and unwinds to the begin point.
+func (t *Thread) abortNow(reason Reason, persistent bool) {
+	t.pendingAbort = Abort{Reason: reason, Persistent: persistent}
+	panic(abortSignal{})
+}
+
+// Abort explicitly aborts the current transaction — the tabort instruction
+// for hardware transactions, a programmatic restart for software ones.
+func (t *Thread) Abort() {
+	if !t.inTx && !t.stm.active {
+		panic("htm: Abort outside a transaction")
+	}
+	t.abortNow(ReasonExplicit, false)
+}
+
+// checkDoomed aborts if another thread has doomed this transaction. It is
+// the first step of every transactional operation so that a doomed
+// transaction cannot act on inconsistent data.
+func (t *Thread) checkDoomed() {
+	if t.status.Load() == statusDoomed {
+		r := Reason(t.doomReason.Load())
+		if r == ReasonNone {
+			r = ReasonConflict
+		}
+		t.abortNow(r, false)
+	}
+}
+
+// doomAt is doom with the conflicting line reported to the sampler.
+func (t *Thread) doomAt(line uint32, victim int32, reason Reason) bool {
+	if s := t.eng.cfg.ConflictSampler; s != nil {
+		s(line, int(victim))
+	}
+	return t.doom(victim, reason)
+}
+
+// doom attempts to abort the transaction on thread victim with the given
+// reason, as a coherence invalidation would. It fails (returns false) when
+// the victim is already committing (immune) or the victim is hardened.
+// Called with the relevant shard lock held.
+func (t *Thread) doom(victim int32, reason Reason) bool {
+	v := t.eng.threads[victim]
+	if v.hardened {
+		return false
+	}
+	v.doomReason.Store(int32(reason))
+	return v.status.CompareAndSwap(statusActive, statusDoomed) ||
+		v.status.Load() == statusDoomed
+}
+
+// Suspend suspends transactional execution (POWER8's tsuspend, Section 2.4):
+// until Resume, memory accesses on this thread are non-transactional and are
+// neither tracked nor buffered. Suspend nests.
+func (t *Thread) Suspend() {
+	if !t.eng.plat.HasSuspendResume {
+		panic("htm: suspend/resume is a POWER8 feature")
+	}
+	if !t.inTx {
+		panic("htm: Suspend outside a transaction")
+	}
+	t.suspendCnt++
+}
+
+// Resume resumes transactional execution. If the transaction was doomed
+// while suspended, the abort is taken here (as hardware does at tresume).
+func (t *Thread) Resume() {
+	if t.suspendCnt == 0 {
+		panic("htm: Resume without Suspend")
+	}
+	t.suspendCnt--
+	if t.suspendCnt == 0 {
+		t.checkDoomed()
+	}
+}
+
+// Suspended reports whether the thread is in the suspended state.
+func (t *Thread) Suspended() bool { return t.inTx && t.suspendCnt > 0 }
+
+// ---------------------------------------------------------------------------
+// Line registration and conflict resolution
+
+// resolveAsReader registers the line for reading, resolving conflicts with a
+// current writer. Requester-wins: the writer is doomed; if it is committing
+// (immune) the requester aborts instead.
+func (t *Thread) resolveAsReader(line uint32, counted bool) {
+	sh := t.eng.shardOf(line)
+	sh.Lock()
+	rec := &t.eng.lines[line]
+	if rec.writer >= 0 && rec.writer != int32(t.slot) {
+		if t.eng.cfg.ResponderWins && !t.hardened {
+			sh.Unlock()
+			t.abortNow(ReasonConflict, false)
+		}
+		if !t.doomAt(line, rec.writer, ReasonConflict) {
+			sh.Unlock()
+			t.abortNow(ReasonCommitterConflict, false)
+		}
+		rec.writer = -1
+	}
+	rec.setReader(t.slot)
+	sh.Unlock()
+	t.reads[line] = counted
+	t.readOrder = append(t.readOrder, line)
+	if counted {
+		t.readsCounted++
+	}
+}
+
+// resolveAsWriter registers the line for writing, dooming conflicting
+// readers and any conflicting writer, and returns with the line buffered in
+// buf (copied under the shard lock so the snapshot is untorn).
+func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
+	sh := t.eng.shardOf(line)
+	sh.Lock()
+	rec := &t.eng.lines[line]
+	if rec.writer >= 0 && rec.writer != int32(t.slot) {
+		if t.eng.cfg.ResponderWins && !t.hardened {
+			sh.Unlock()
+			t.abortNow(ReasonConflict, false)
+		}
+		if !t.doomAt(line, rec.writer, ReasonConflict) {
+			sh.Unlock()
+			t.abortNow(ReasonCommitterConflict, false)
+		}
+		rec.writer = -1
+	}
+	for w, word := range rec.readers {
+		for word != 0 {
+			bit := word & (-word)
+			word &^= bit
+			slot := int32(w)*64 + trailingZeros(bit)
+			if slot == int32(t.slot) {
+				continue
+			}
+			if t.eng.cfg.ResponderWins && !t.hardened {
+				sh.Unlock()
+				t.abortNow(ReasonConflict, false)
+			}
+			if !t.doomAt(line, slot, ReasonConflict) {
+				sh.Unlock()
+				t.abortNow(ReasonCommitterConflict, false)
+			}
+			rec.readers[w] &^= bit
+		}
+	}
+	rec.writer = int32(t.slot)
+	base := uint64(line) << t.eng.lineShift
+	data := t.eng.space.Data()
+	end := base + uint64(t.eng.lineSize)
+	if end > uint64(len(data)) {
+		end = uint64(len(data))
+	}
+	copy(buf, data[base:end])
+	sh.Unlock()
+}
+
+func trailingZeros(x uint64) int32 { return int32(bits.TrailingZeros64(x)) }
+
+// ---------------------------------------------------------------------------
+// Capacity accounting
+
+func (t *Thread) capacityCheckLoad() {
+	if t.eng.cfg.UnboundedCapacity {
+		return
+	}
+	div := t.eng.smtDivisor(t.core)
+	cap := t.eng.loadCapLines / div
+	if cap < 1 {
+		cap = 1
+	}
+	var occupied int
+	if t.eng.plat.CombinedCapacity {
+		occupied = t.readsCounted + len(t.writes)
+	} else {
+		occupied = t.readsCounted
+	}
+	if occupied+1 > cap {
+		reason := ReasonCapacityLoad
+		if div > 1 && occupied+1 <= t.eng.loadCapLines {
+			reason = ReasonCapacitySMT
+		}
+		t.abortNow(reason, true)
+	}
+}
+
+func (t *Thread) capacityCheckStore(line uint32) {
+	if t.eng.cfg.UnboundedCapacity {
+		return
+	}
+	div := t.eng.smtDivisor(t.core)
+	cap := t.eng.storeCapLines / div
+	if cap < 1 {
+		cap = 1
+	}
+	var occupied int
+	if t.eng.plat.CombinedCapacity {
+		occupied = t.readsCounted + len(t.writes)
+		if counted, wasRead := t.reads[line]; wasRead && counted {
+			// A read line becoming written reuses its tracking entry
+			// (the TMCAM/L2 entry just gains the write bit).
+			occupied--
+		}
+	} else {
+		occupied = len(t.writes)
+	}
+	if occupied+1 > cap {
+		reason := ReasonCapacityStore
+		if div > 1 && occupied+1 <= t.eng.storeCapLines {
+			reason = ReasonCapacitySMT
+		}
+		t.abortNow(reason, true)
+	}
+	// Set-associativity overflow for L1-resident store buffers (Intel).
+	if sets := t.eng.plat.StoreSets; sets > 0 {
+		set := line % uint32(sets)
+		ways := t.eng.plat.StoreWays / div
+		if ways < 1 {
+			ways = 1
+		}
+		if t.storeSetCnt[set]+1 > ways {
+			t.abortNow(ReasonCapacityWay, true)
+		}
+		t.storeSetCnt[set]++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Access paths
+
+func (t *Thread) lineOf(a mem.Addr) uint32 { return uint32(a >> t.eng.lineShift) }
+
+// maybePrefetch models Intel's hardware prefetcher pulling the adjacent line
+// into the transactional read set (Section 5.1): the prefetched line becomes
+// conflict-detectable — dooming a concurrent writer of that line exactly as
+// the paper observed in kmeans — but is not charged against capacity, and a
+// prefetch that cannot be satisfied (committing owner) is silently dropped
+// rather than aborting the requester.
+func (t *Thread) maybePrefetch(line uint32) {
+	if t.prefetchProb == 0 {
+		return
+	}
+	if !t.rng.Bernoulli(t.prefetchProb) {
+		return
+	}
+	// The streamer runs several lines ahead of the access stream.
+	const prefetchDepth = 3
+	for d := uint32(1); d <= prefetchDepth; d++ {
+		next := line + d
+		if int(next) >= t.eng.nLines {
+			return
+		}
+		if _, ok := t.reads[next]; ok {
+			continue
+		}
+		if _, ok := t.writes[next]; ok {
+			continue
+		}
+		sh := t.eng.shardOf(next)
+		sh.Lock()
+		rec := &t.eng.lines[next]
+		if rec.writer >= 0 && rec.writer != int32(t.slot) {
+			if !t.doom(rec.writer, ReasonConflict) {
+				sh.Unlock()
+				return // drop the prefetch; the owner is committing
+			}
+			rec.writer = -1
+		}
+		rec.setReader(t.slot)
+		sh.Unlock()
+		t.reads[next] = false
+		t.readOrder = append(t.readOrder, next)
+	}
+}
+
+// maybeCacheFetchAbort injects zEC12's spurious transient aborts.
+func (t *Thread) maybeCacheFetchAbort() {
+	if t.cacheFetchProb != 0 && t.rng.Bernoulli(t.cacheFetchProb) {
+		t.abortNow(ReasonCacheFetch, false)
+	}
+}
+
+func (t *Thread) constrainedCheck(line uint32) {
+	if t.kind != TxConstrained {
+		return
+	}
+	t.accessCount++
+	if t.accessCount > 32 {
+		panic(&ErrConstrained{Msg: "more than 32 accesses"})
+	}
+	_, inR := t.reads[line]
+	_, inW := t.writes[line]
+	if !inR && !inW && len(t.reads)+len(t.writes) >= 4 {
+		panic(&ErrConstrained{Msg: "footprint exceeds 4 lines / 256 bytes"})
+	}
+}
+
+// txLoad performs a transactional load of n bytes at a, returning the slice
+// to read from (the write buffer if the line is buffered, else the arena).
+func (t *Thread) txLoad(a mem.Addr, n int) []byte {
+	t.checkDoomed()
+	t.boundsCheck(a, n)
+	line := t.lineOf(a)
+	t.constrainedCheck(line)
+	t.maybeCacheFetchAbort()
+	t.stats.TxLoads++
+	t.tickOp(t.loadCostPerOp)
+	if buf, ok := t.writes[line]; ok {
+		off := a & uint64(t.eng.lineSize-1)
+		return buf[off : off+uint64(n)]
+	}
+	if counted, ok := t.reads[line]; ok {
+		if !counted && t.kind != TxRollbackOnly {
+			// Promote a prefetched line to a real read: charge capacity.
+			t.capacityCheckLoad()
+			t.reads[line] = true
+			t.readsCounted++
+		}
+	} else if t.kind != TxRollbackOnly {
+		t.capacityCheckLoad()
+		t.resolveAsReader(line, true)
+		t.maybePrefetch(line)
+	}
+	return t.eng.space.Data()[a : a+uint64(n)]
+}
+
+// txStore performs a transactional store, returning the buffered slice to
+// write into.
+func (t *Thread) txStore(a mem.Addr, n int) []byte {
+	t.checkDoomed()
+	t.boundsCheck(a, n)
+	line := t.lineOf(a)
+	t.constrainedCheck(line)
+	t.maybeCacheFetchAbort()
+	t.stats.TxStores++
+	t.tickOp(t.storeCostPerOp)
+	buf, ok := t.writes[line]
+	if !ok {
+		t.capacityCheckStore(line)
+		buf = t.getLineBuf()
+		t.resolveAsWriter(line, buf)
+		t.writes[line] = buf
+		t.writeOrder = append(t.writeOrder, line)
+		if counted, wasRead := t.reads[line]; wasRead && counted {
+			// The line's tracking entry transitions from read to
+			// read+write; on combined-capacity platforms it must not be
+			// charged twice.
+			t.reads[line] = false
+			t.readsCounted--
+		}
+		t.maybePrefetch(line)
+	}
+	off := a & uint64(t.eng.lineSize-1)
+	return buf[off : off+uint64(n)]
+}
+
+func (t *Thread) getLineBuf() []byte {
+	if n := len(t.bufPool); n > 0 {
+		b := t.bufPool[n-1]
+		t.bufPool = t.bufPool[:n-1]
+		return b
+	}
+	return make([]byte, t.eng.lineSize)
+}
+
+func (t *Thread) boundsCheck(a mem.Addr, n int) {
+	if a == mem.Nil {
+		// A nil dereference inside a transaction is almost always the
+		// result of reading torn/doomed state; treat it as a conflict
+		// abort rather than crashing, as hardware would simply have
+		// aborted before the dependent access.
+		if (t.inTx && t.suspendCnt == 0) || t.stm.active {
+			t.abortNow(ReasonConflict, false)
+		}
+		panic("htm: access through nil simulated pointer")
+	}
+	if a+uint64(n) > uint64(t.eng.space.Size()) {
+		if (t.inTx && t.suspendCnt == 0) || t.stm.active {
+			t.abortNow(ReasonConflict, false)
+		}
+		panic(fmt.Sprintf("htm: access [%#x,%#x) out of arena bounds", a, a+uint64(n)))
+	}
+}
+
+// nonTxLoad is a strongly-isolated non-transactional load: it dooms a
+// conflicting transactional writer (requester always wins for
+// non-transactional accesses) and reads committed memory. A writer that is
+// already committing is immune; since hardware commits atomically, the
+// non-transactional access waits for the publication to finish rather than
+// observing a partially published multi-line commit.
+func (t *Thread) nonTxLoad(a mem.Addr, n int) []byte {
+	t.tickOp(0)
+	t.boundsCheck(a, n)
+	data := t.eng.space.Data()
+	if t.eng.activeTx.Load() == 0 {
+		return data[a : a+uint64(n)]
+	}
+	line := t.lineOf(a)
+	sh := t.eng.shardOf(line)
+	for {
+		sh.Lock()
+		rec := &t.eng.lines[line]
+		if rec.writer >= 0 && rec.writer != int32(t.slot) {
+			if !t.doom(rec.writer, ReasonNonTxConflict) {
+				sh.Unlock()
+				t.Pause(2) // owner is committing; wait it out
+				continue
+			}
+			rec.writer = -1
+		}
+		out := make([]byte, n)
+		copy(out, data[a:a+uint64(n)])
+		sh.Unlock()
+		return out
+	}
+}
+
+// nonTxStore is a strongly-isolated non-transactional store: it dooms all
+// conflicting transactional owners of the line and writes memory directly.
+func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
+	t.tickOp(0)
+	t.boundsCheck(a, n)
+	data := t.eng.space.Data()
+	if t.eng.activeTx.Load() == 0 {
+		copy(data[a:a+uint64(n)], src)
+		return
+	}
+	line := t.lineOf(a)
+	sh := t.eng.shardOf(line)
+	for {
+		sh.Lock()
+		rec := &t.eng.lines[line]
+		if rec.writer >= 0 && rec.writer != int32(t.slot) {
+			if !t.doom(rec.writer, ReasonNonTxConflict) {
+				sh.Unlock()
+				t.Pause(2) // owner is committing; wait it out
+				continue
+			}
+			rec.writer = -1
+		}
+		for w, word := range rec.readers {
+			for word != 0 {
+				bit := word & (-word)
+				word &^= bit
+				slot := int32(w)*64 + trailingZeros(bit)
+				if slot == int32(t.slot) {
+					continue
+				}
+				if t.doom(slot, ReasonNonTxConflict) {
+					rec.readers[w] &^= bit
+				}
+			}
+		}
+		copy(data[a:a+uint64(n)], src)
+		sh.Unlock()
+		return
+	}
+}
+
+// transactional reports whether accesses should take the transactional path.
+func (t *Thread) transactional() bool { return t.inTx && t.suspendCnt == 0 }
+
+// ---------------------------------------------------------------------------
+// Typed accessors (the workload-facing API)
+
+// Load64 reads the 8-byte word at a, transactionally when in a transaction
+// (hardware or software).
+func (t *Thread) Load64(a mem.Addr) uint64 {
+	if t.stm.active {
+		t.boundsCheck(a, 8)
+		return t.stmLoadBytes(a, 8)
+	}
+	if t.transactional() {
+		return binary.LittleEndian.Uint64(t.txLoad(a, 8))
+	}
+	return binary.LittleEndian.Uint64(t.nonTxLoad(a, 8))
+}
+
+// Store64 writes the 8-byte word v at a, transactionally when in a
+// transaction (hardware or software).
+func (t *Thread) Store64(a mem.Addr, v uint64) {
+	if t.stm.active {
+		t.boundsCheck(a, 8)
+		t.stmStoreBytes(a, 8, v)
+		return
+	}
+	if t.transactional() {
+		binary.LittleEndian.PutUint64(t.txStore(a, 8), v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.nonTxStore(a, 8, b[:])
+}
+
+// Load32 reads the 4-byte word at a.
+func (t *Thread) Load32(a mem.Addr) uint32 {
+	if t.stm.active {
+		t.boundsCheck(a, 4)
+		return uint32(t.stmLoadBytes(a, 4))
+	}
+	if t.transactional() {
+		return binary.LittleEndian.Uint32(t.txLoad(a, 4))
+	}
+	return binary.LittleEndian.Uint32(t.nonTxLoad(a, 4))
+}
+
+// Store32 writes the 4-byte word v at a.
+func (t *Thread) Store32(a mem.Addr, v uint32) {
+	if t.stm.active {
+		t.boundsCheck(a, 4)
+		t.stmStoreBytes(a, 4, uint64(v))
+		return
+	}
+	if t.transactional() {
+		binary.LittleEndian.PutUint32(t.txStore(a, 4), v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	t.nonTxStore(a, 4, b[:])
+}
+
+// Load8 reads the byte at a.
+func (t *Thread) Load8(a mem.Addr) byte {
+	if t.stm.active {
+		t.boundsCheck(a, 1)
+		return byte(t.stmLoadBytes(a, 1))
+	}
+	if t.transactional() {
+		return t.txLoad(a, 1)[0]
+	}
+	return t.nonTxLoad(a, 1)[0]
+}
+
+// Store8 writes the byte v at a.
+func (t *Thread) Store8(a mem.Addr, v byte) {
+	if t.stm.active {
+		t.boundsCheck(a, 1)
+		t.stmStoreBytes(a, 1, uint64(v))
+		return
+	}
+	if t.transactional() {
+		t.txStore(a, 1)[0] = v
+		return
+	}
+	t.nonTxStore(a, 1, []byte{v})
+}
+
+// LoadRO64 reads the word at a without any conflict tracking. It is only
+// correct for data that is never written during concurrent phases (inputs
+// written at setup time): on real hardware such lines sit in the shared
+// cache state and cost no coherence traffic and no tracking resources, and
+// several STAMP benchmarks (kmeans points, genome nucleotides, intruder
+// payloads) rely on exactly that. Using it on mutable shared data breaks
+// isolation.
+func (t *Thread) LoadRO64(a mem.Addr) uint64 {
+	t.tickRO()
+	t.boundsCheck(a, 8)
+	return binary.LittleEndian.Uint64(t.eng.space.Data()[a:])
+}
+
+// LoadRO8 is LoadRO64 for a single byte.
+func (t *Thread) LoadRO8(a mem.Addr) byte {
+	t.tickRO()
+	t.boundsCheck(a, 1)
+	return t.eng.space.Data()[a]
+}
+
+// LoadROFloat64 is LoadRO64 for a float64.
+func (t *Thread) LoadROFloat64(a mem.Addr) float64 {
+	return math.Float64frombits(t.LoadRO64(a))
+}
+
+// LoadInt64 reads the word at a as a signed integer.
+func (t *Thread) LoadInt64(a mem.Addr) int64 { return int64(t.Load64(a)) }
+
+// StoreInt64 writes the signed integer v at a.
+func (t *Thread) StoreInt64(a mem.Addr, v int64) { t.Store64(a, uint64(v)) }
+
+// LoadFloat64 reads the float64 at a.
+func (t *Thread) LoadFloat64(a mem.Addr) float64 {
+	return math.Float64frombits(t.Load64(a))
+}
+
+// StoreFloat64 writes the float64 v at a.
+func (t *Thread) StoreFloat64(a mem.Addr, v float64) {
+	t.Store64(a, math.Float64bits(v))
+}
+
+// LoadPtr reads a simulated pointer (an 8-byte word) at a.
+func (t *Thread) LoadPtr(a mem.Addr) mem.Addr { return t.Load64(a) }
+
+// StorePtr writes the simulated pointer p at a.
+func (t *Thread) StorePtr(a mem.Addr, p mem.Addr) { t.Store64(a, p) }
+
+// CompareAndSwap64 performs an atomic compare-and-swap on the word at a when
+// outside a transaction (the lock-free baseline of the Figure 6 queue uses
+// it). Inside a transaction it degenerates to a plain read-modify-write,
+// which the transaction makes atomic anyway.
+func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
+	if t.transactional() {
+		if t.Load64(a) != old {
+			return false
+		}
+		t.Store64(a, new)
+		return true
+	}
+	// Serialise through the line's shard lock for non-tx atomicity. A CAS
+	// is a serialising instruction, far more expensive than a plain load —
+	// the path-length cost the paper's Figure 6 transactions elide.
+	t.tickOp(t.eng.scaledCost(t.eng.plat.Costs.CAS))
+	t.boundsCheck(a, 8)
+	line := t.lineOf(a)
+	sh := t.eng.shardOf(line)
+	for {
+		sh.Lock()
+		rec := &t.eng.lines[line]
+		if rec.writer >= 0 && rec.writer != int32(t.slot) {
+			if !t.doom(rec.writer, ReasonNonTxConflict) {
+				sh.Unlock()
+				t.Pause(2) // owner is committing; wait it out
+				continue
+			}
+			rec.writer = -1
+		}
+		for w, word := range rec.readers {
+			for word != 0 {
+				bit := word & (-word)
+				word &^= bit
+				slot := int32(w)*64 + trailingZeros(bit)
+				if slot == int32(t.slot) {
+					continue
+				}
+				if t.doom(slot, ReasonNonTxConflict) {
+					rec.readers[w] &^= bit
+				}
+			}
+		}
+		data := t.eng.space.Data()
+		cur := binary.LittleEndian.Uint64(data[a:])
+		ok := cur == old
+		if ok {
+			binary.LittleEndian.PutUint64(data[a:], new)
+		}
+		sh.Unlock()
+		return ok
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transactional allocation (STAMP's TM_MALLOC / TM_FREE)
+
+// Alloc allocates size bytes of simulated memory. Inside a transaction the
+// allocation is logged and automatically reclaimed if the transaction
+// aborts.
+func (t *Thread) Alloc(size int) mem.Addr {
+	a := t.eng.space.AllocArena(size, 8, t.slot)
+	if t.inTx || t.stm.active {
+		t.allocs = append(t.allocs, a)
+	}
+	return a
+}
+
+// AllocAligned is Alloc with an alignment constraint.
+func (t *Thread) AllocAligned(size, align int) mem.Addr {
+	a := t.eng.space.AllocArena(size, align, t.slot)
+	if t.inTx || t.stm.active {
+		t.allocs = append(t.allocs, a)
+	}
+	return a
+}
+
+// Free releases the block at a. Inside a transaction the free is deferred
+// until commit so that an abort does not lose live data.
+func (t *Thread) Free(a mem.Addr) {
+	if a == mem.Nil {
+		return
+	}
+	if t.inTx || t.stm.active {
+		t.frees = append(t.frees, a)
+		return
+	}
+	t.eng.space.FreeArena(a, t.slot)
+}
+

@@ -1,0 +1,284 @@
+package htm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// vsched is the virtual-time cooperative scheduler. When an Engine is
+// created with Config.Virtual, exactly one benchmark thread executes at any
+// moment; every memory access and modelled overhead advances the running
+// thread's virtual clock, and at yield points the scheduler hands the baton
+// to the runnable thread with the smallest clock. Transactions therefore
+// overlap in *virtual* time regardless of how many physical CPUs the host
+// has, conflict patterns match a genuinely parallel execution, and every
+// run is fully deterministic: the parallel region's duration is simply the
+// maximum virtual clock across its threads.
+//
+// This is the measurement backbone of the reproduction: the paper's
+// speed-up ratios are virtual-cycle ratios here, so results are identical
+// on a laptop and a 64-core server.
+type vsched struct {
+	mu      sync.Mutex
+	quantum int
+
+	// status per thread slot.
+	status map[int]schedStatus
+	// running is the slot currently holding the baton, or -1.
+	running int
+	// pending counts registered threads whose goroutines have not reached
+	// begin yet. No thread runs until it drops to zero: a startup barrier
+	// that makes the schedule independent of goroutine launch order (and
+	// therefore deterministic).
+	pending int
+}
+
+type schedStatus int
+
+const (
+	schedPending schedStatus = iota // registered; goroutine not started yet
+	schedRunning
+	schedReady   // parked, electable
+	schedBlocked // parked, waiting for an Unblock (barrier)
+	schedDone
+)
+
+func newVsched(quantum int) *vsched {
+	if quantum <= 0 {
+		quantum = 8
+	}
+	return &vsched{
+		quantum: quantum,
+		status:  make(map[int]schedStatus),
+		running: -1,
+	}
+}
+
+// register adds a thread before its worker goroutine starts, so the
+// scheduler never mistakes a not-yet-started thread for a deadlock.
+// Must be called from outside the scheduled region (e.g. the spawning
+// goroutine).
+func (s *vsched) register(t *Thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.status[t.slot]; ok && st != schedDone {
+		panic(fmt.Sprintf("htm: thread %d registered twice", t.slot))
+	}
+	s.status[t.slot] = schedPending
+	s.pending++
+}
+
+// begin is a worker goroutine's first scheduler call. Threads park here
+// until every registered thread has arrived (the startup barrier); the last
+// arrival elects the minimum-clock thread to run first, so the schedule does
+// not depend on goroutine launch order.
+func (s *vsched) begin(t *Thread) {
+	s.mu.Lock()
+	if s.status[t.slot] != schedPending {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("htm: thread %d begins without registration", t.slot))
+	}
+	s.status[t.slot] = schedReady
+	s.pending--
+	if s.pending > 0 || s.running != -1 {
+		// Not everyone is here yet, or a schedule is already in flight
+		// (a thread registered into a running region): park until elected.
+		s.mu.Unlock()
+		<-t.gate
+		return
+	}
+	first := s.electLocked(t.eng)
+	s.mu.Unlock()
+	if first == t {
+		return
+	}
+	first.gate <- struct{}{}
+	<-t.gate
+}
+
+// electLocked picks the ready thread with the smallest (clock, slot), marks
+// it running and returns it; nil when no thread is electable. Caller holds
+// s.mu.
+func (s *vsched) electLocked(e *Engine) *Thread {
+	var best *Thread
+	for slot, st := range s.status {
+		if st != schedReady {
+			continue
+		}
+		th := e.threads[slot]
+		if best == nil || th.vclock < best.vclock ||
+			(th.vclock == best.vclock && th.slot < best.slot) {
+			best = th
+		}
+	}
+	if best != nil {
+		s.status[best.slot] = schedRunning
+		s.running = best.slot
+	}
+	return best
+}
+
+// checkDeadlockLocked panics when no thread can ever run again yet some are
+// blocked. Caller holds s.mu.
+func (s *vsched) checkDeadlockLocked() {
+	blocked := 0
+	for _, st := range s.status {
+		switch st {
+		case schedPending, schedReady, schedRunning:
+			return // progress is still possible
+		case schedBlocked:
+			blocked++
+		}
+	}
+	if blocked > 0 {
+		panic(fmt.Sprintf("htm: virtual-scheduler deadlock: %d threads blocked, none runnable", blocked))
+	}
+}
+
+// yield hands the baton to the minimum-clock ready thread if that is not the
+// caller. The caller must be the running thread.
+func (s *vsched) yield(t *Thread) {
+	s.mu.Lock()
+	// Fast path: caller remains the minimum.
+	isMin := true
+	for slot, st := range s.status {
+		if st != schedReady {
+			continue
+		}
+		th := t.eng.threads[slot]
+		if th.vclock < t.vclock || (th.vclock == t.vclock && th.slot < t.slot) {
+			isMin = false
+			break
+		}
+	}
+	if isMin {
+		s.mu.Unlock()
+		return
+	}
+	s.status[t.slot] = schedReady
+	next := s.electLocked(t.eng)
+	s.mu.Unlock()
+	next.gate <- struct{}{}
+	<-t.gate
+}
+
+// block parks the running thread until Unblock marks it ready; used by the
+// scheduler-aware barrier.
+func (s *vsched) block(t *Thread) {
+	s.mu.Lock()
+	s.status[t.slot] = schedBlocked
+	next := s.electLocked(t.eng)
+	if next == nil {
+		s.running = -1
+		s.checkDeadlockLocked()
+	}
+	s.mu.Unlock()
+	if next != nil {
+		next.gate <- struct{}{}
+	}
+	<-t.gate
+}
+
+// unblockLocked marks a blocked thread ready and advances its clock to at
+// least atClock (time spent blocked passes for everyone). Caller holds s.mu.
+func (s *vsched) unblockLocked(t *Thread, atClock uint64) {
+	if s.status[t.slot] != schedBlocked {
+		panic(fmt.Sprintf("htm: unblock of non-blocked thread %d", t.slot))
+	}
+	if t.vclock < atClock {
+		t.vclock = atClock
+	}
+	s.status[t.slot] = schedReady
+}
+
+// exit removes the finishing thread from scheduling and passes the baton on.
+func (s *vsched) exit(t *Thread) {
+	s.mu.Lock()
+	s.status[t.slot] = schedDone
+	var next *Thread
+	if s.running == t.slot {
+		next = s.electLocked(t.eng)
+		if next == nil {
+			s.running = -1
+		}
+	}
+	s.mu.Unlock()
+	if next != nil {
+		next.gate <- struct{}{}
+	}
+}
+
+// Barrier is a scheduler-aware cyclic barrier. In virtual mode all parties
+// resume with their clocks advanced to the latest arrival's clock — the
+// virtual-time semantics of a barrier. In real-concurrency mode it is an
+// ordinary condition-variable barrier. Create with Engine.NewBarrier.
+type Barrier struct {
+	eng *Engine
+	n   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	gen     int
+	waiters []*Thread
+}
+
+// NewBarrier returns a barrier for n parties on this engine.
+func (e *Engine) NewBarrier(n int) *Barrier {
+	b := &Barrier{eng: e, n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks t until all n parties have arrived.
+func (b *Barrier) Wait(t *Thread) {
+	if b.eng.sched == nil {
+		b.mu.Lock()
+		gen := b.gen
+		b.count++
+		if b.count == b.n {
+			b.count = 0
+			b.gen++
+			b.cond.Broadcast()
+			b.mu.Unlock()
+			return
+		}
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+		b.mu.Unlock()
+		return
+	}
+	s := b.eng.sched
+	s.mu.Lock()
+	b.count++
+	if b.count < b.n {
+		b.waiters = append(b.waiters, t)
+		s.status[t.slot] = schedBlocked
+		next := s.electLocked(b.eng)
+		if next == nil {
+			s.running = -1
+			s.checkDeadlockLocked()
+		}
+		s.mu.Unlock()
+		if next != nil {
+			next.gate <- struct{}{}
+		}
+		<-t.gate
+		return
+	}
+	// Last arriver: everyone resumes at the maximum clock.
+	maxClock := t.vclock
+	for _, w := range b.waiters {
+		if w.vclock > maxClock {
+			maxClock = w.vclock
+		}
+	}
+	t.vclock = maxClock
+	for _, w := range b.waiters {
+		s.unblockLocked(w, maxClock)
+	}
+	b.waiters = b.waiters[:0]
+	b.count = 0
+	s.mu.Unlock()
+}

@@ -1,0 +1,237 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"htmcmp/internal/platform"
+)
+
+// runVirtualCounters runs a counter workload under the virtual scheduler and
+// returns (maxClock, stats). With shared=false every thread owns a private
+// counter line; with shared=true all threads hammer one line.
+func runVirtualCounters(t *testing.T, threads, perThread int, shared bool, seed uint64) (uint64, Stats) {
+	t.Helper()
+	e := New(platform.New(platform.IntelCore), Config{
+		Threads: threads, SpaceSize: 4 << 20, Seed: seed, Virtual: true, CostScale: 1,
+		DisablePrefetch: true,
+	})
+	base := e.Thread(0).Alloc(threads * 256)
+	for i := 0; i < threads; i++ {
+		e.Thread(i).Register()
+	}
+	e.ResetClocks()
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := e.Thread(tid)
+			th.BeginWork()
+			defer th.ExitWork()
+			addr := base
+			if !shared {
+				addr += uint64(tid * 256)
+			}
+			for j := 0; j < perThread; j++ {
+				th.Work(50)
+				for {
+					ok, _ := th.TryTx(TxNormal, func() {
+						th.Store64(addr, th.Load64(addr)+1)
+					})
+					if ok {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return e.MaxClock(), e.Stats()
+}
+
+func TestVirtualDisjointScalesPerfectly(t *testing.T) {
+	c1, _ := runVirtualCounters(t, 1, 500, false, 7)
+	c4, _ := runVirtualCounters(t, 4, 500, false, 7)
+	// Independent threads: the 4-thread region lasts exactly as long as one
+	// thread's own work.
+	if c4 != c1 {
+		t.Errorf("4-thread clock %d != 1-thread clock %d for disjoint work", c4, c1)
+	}
+}
+
+func TestVirtualSharedCounterConflictsAndStaysExact(t *testing.T) {
+	_, st := runVirtualCounters(t, 4, 300, true, 7)
+	if st.Commits != 4*300 {
+		t.Errorf("commits = %d, want %d", st.Commits, 4*300)
+	}
+	if st.Aborts == 0 {
+		t.Error("shared-counter run produced no conflicts: threads are not overlapping in virtual time")
+	}
+}
+
+func TestVirtualDeterminism(t *testing.T) {
+	cA, sA := runVirtualCounters(t, 4, 300, true, 11)
+	cB, sB := runVirtualCounters(t, 4, 300, true, 11)
+	if cA != cB {
+		t.Errorf("clocks differ across identical runs: %d vs %d", cA, cB)
+	}
+	if sA != sB {
+		t.Errorf("stats differ across identical runs:\n%+v\n%+v", sA, sB)
+	}
+}
+
+func TestVirtualClockMonotoneWithContention(t *testing.T) {
+	cPriv, _ := runVirtualCounters(t, 4, 300, false, 13)
+	cShared, _ := runVirtualCounters(t, 4, 300, true, 13)
+	if cShared <= cPriv {
+		t.Errorf("contended run (%d) not slower than private run (%d)", cShared, cPriv)
+	}
+}
+
+func TestVirtualStartupBarrierIndependentOfArrival(t *testing.T) {
+	// Register threads, then start their goroutines in adversarial order;
+	// results must match a normal run.
+	run := func(reverse bool) (uint64, Stats) {
+		e := New(platform.New(platform.ZEC12), Config{
+			Threads: 4, SpaceSize: 4 << 20, Seed: 3, Virtual: true, CostScale: 1,
+			DisableCacheFetchAborts: true,
+		})
+		base := e.Thread(0).Alloc(1024)
+		for i := 0; i < 4; i++ {
+			e.Thread(i).Register()
+		}
+		e.ResetClocks()
+		var wg sync.WaitGroup
+		order := []int{0, 1, 2, 3}
+		if reverse {
+			order = []int{3, 2, 1, 0}
+		}
+		for _, tid := range order {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				th := e.Thread(tid)
+				th.BeginWork()
+				defer th.ExitWork()
+				for j := 0; j < 200; j++ {
+					for {
+						ok, _ := th.TryTx(TxNormal, func() {
+							th.Store64(base, th.Load64(base)+1)
+						})
+						if ok {
+							break
+						}
+					}
+				}
+			}(tid)
+		}
+		wg.Wait()
+		return e.MaxClock(), e.Stats()
+	}
+	cA, sA := run(false)
+	cB, sB := run(true)
+	if cA != cB || sA != sB {
+		t.Errorf("schedule depends on goroutine launch order: clock %d vs %d", cA, cB)
+	}
+}
+
+func TestVirtualBarrierSynchronisesClocks(t *testing.T) {
+	e := New(platform.New(platform.IntelCore), Config{
+		Threads: 3, SpaceSize: 1 << 20, Seed: 1, Virtual: true, CostScale: 0,
+	})
+	bar := e.NewBarrier(3)
+	for i := 0; i < 3; i++ {
+		e.Thread(i).Register()
+	}
+	var wg sync.WaitGroup
+	after := make([]uint64, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := e.Thread(tid)
+			th.BeginWork()
+			defer th.ExitWork()
+			th.Work(100 * (tid + 1))
+			bar.Wait(th)
+			after[tid] = th.Clock()
+		}(i)
+	}
+	wg.Wait()
+	if after[0] != after[1] || after[1] != after[2] {
+		t.Errorf("clocks after barrier diverge: %v", after)
+	}
+	if after[0] < 300 {
+		t.Errorf("barrier clock %d below slowest party's 300", after[0])
+	}
+}
+
+func TestVirtualDeadlockDetection(t *testing.T) {
+	e := New(platform.New(platform.IntelCore), Config{
+		Threads: 2, SpaceSize: 1 << 20, Seed: 1, Virtual: true,
+	})
+	// A 3-party barrier with only 2 threads: both block, nobody can wake
+	// them. The scheduler must panic rather than hang.
+	bar := e.NewBarrier(3)
+	e.Thread(0).Register()
+	e.Thread(1).Register()
+	done := make(chan interface{}, 2)
+	for i := 0; i < 2; i++ {
+		go func(tid int) {
+			defer func() { done <- recover() }()
+			th := e.Thread(tid)
+			th.BeginWork()
+			bar.Wait(th)
+		}(i)
+	}
+	if r := <-done; r == nil {
+		t.Fatal("expected a deadlock panic from the virtual scheduler")
+	}
+}
+
+func TestVirtualSMTDivisorStillApplies(t *testing.T) {
+	// Virtual mode must preserve the SMT capacity model: two POWER8
+	// threads on one core halve the TMCAM.
+	e := New(platform.New(platform.POWER8), Config{
+		Threads: 12, SpaceSize: 4 << 20, Seed: 1, Virtual: true, CostScale: 0,
+	})
+	t0, t6 := e.Thread(0), e.Thread(6)
+	if t0.Core() != t6.Core() {
+		t.Fatal("threads 0 and 6 should share a core")
+	}
+	a := t0.Alloc(64 * e.LineSize())
+	t0.Register()
+	t6.Register()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	results := make([]bool, 2)
+	go func() {
+		defer wg.Done()
+		t0.BeginWork()
+		defer t0.ExitWork()
+		ok, _ := t0.TryTx(TxNormal, func() {
+			for i := 0; i < 40; i++ {
+				_ = t0.Load64(a + uint64(i*e.LineSize()))
+			}
+			t0.Work(10000) // stay in-tx while the sibling runs
+		})
+		results[0] = ok
+	}()
+	go func() {
+		defer wg.Done()
+		t6.BeginWork()
+		defer t6.ExitWork()
+		t6.Work(500) // let t0 build its read set first
+		ok, _ := t6.TryTx(TxNormal, func() {
+			for i := 40; i < 80; i++ {
+				_ = t6.Load64(a + uint64(i*e.LineSize()))
+			}
+		})
+		results[1] = ok
+	}()
+	wg.Wait()
+	if results[0] && results[1] {
+		t.Error("both 40-line transactions on one SMT core committed; capacity sharing not applied")
+	}
+}

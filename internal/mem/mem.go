@@ -1,0 +1,330 @@
+// Package mem implements the simulated flat memory that every transactional
+// workload in this repository runs against.
+//
+// Real HTM tracks physical cache lines, so a faithful behavioural model needs
+// workloads whose data structures live at concrete addresses with controlled
+// layout (padding, alignment, adjacency — the things Section 4 of the paper
+// fixes in STAMP). A Space is a single []byte arena; simulated pointers are
+// uint64 byte offsets into it. Offset 0 is reserved as the nil pointer.
+//
+// Space provides raw, untracked accessors. Transactional (tracked, buffered)
+// accesses are performed through internal/htm, which layers conflict
+// detection and store buffering on top of the same arena.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Addr is a simulated memory address: a byte offset into a Space's arena.
+type Addr = uint64
+
+// Nil is the simulated null pointer.
+const Nil Addr = 0
+
+// WordSize is the size of a simulated machine word in bytes. All pointers
+// and integer fields in the transactional data structures are 8-byte words.
+const WordSize = 8
+
+// Space is a simulated flat memory arena with a word-aligned first-fit
+// allocator. The zero value is not usable; construct with NewSpace.
+//
+// Raw accessors (Load*/Store*) perform no conflict tracking and must only be
+// used during single-threaded setup/teardown or for provably thread-private
+// data; concurrent phases go through the HTM engine.
+type Space struct {
+	data []byte
+
+	mu   sync.Mutex
+	next uint64         // global bump pointer (always 8-byte aligned)
+	live map[uint64]int // allocated block -> rounded size (for Free/double-free checks)
+	used uint64         // bytes currently allocated
+
+	// arenas are per-hardware-thread allocation contexts: each bump-
+	// allocates within private chunks carved from the global region, the
+	// way per-thread malloc arenas (and STAMP's thread-local pools) keep
+	// concurrently allocating threads off each other's cache lines.
+	// Without this, transactions that allocate get adjacent blocks and
+	// conflict falsely on every allocation.
+	arenas map[int]*arena
+}
+
+// arenaChunk is the size of the region an arena carves from the global
+// space at a time. It is line-aligned (256 is the largest modelled line).
+const arenaChunk = 8 << 10
+
+type arena struct {
+	cur, end uint64
+	free     map[int][]uint64
+}
+
+// NewSpace returns a Space with the given arena size in bytes. Size is
+// rounded up to a multiple of 8. The first word is reserved so that no
+// allocation is ever at address 0.
+func NewSpace(size int) *Space {
+	if size < 64 {
+		size = 64
+	}
+	size = (size + 7) &^ 7
+	return &Space{
+		data:   make([]byte, size),
+		next:   WordSize, // reserve address 0 as nil
+		live:   make(map[uint64]int),
+		arenas: make(map[int]*arena),
+	}
+}
+
+// Size returns the arena size in bytes.
+func (s *Space) Size() int { return len(s.data) }
+
+// Used returns the number of bytes currently allocated.
+func (s *Space) Used() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Data exposes the raw arena. It is intended for the HTM engine's commit
+// write-back and for tests; workloads should not touch it directly.
+func (s *Space) Data() []byte { return s.data }
+
+// roundSize rounds a request up to its size class: multiples of 8 up to 256,
+// then powers of two. Small classes keep STAMP's many small node allocations
+// dense; the power-of-two tail bounds free-list fragmentation for big blocks.
+func roundSize(n int) int {
+	if n <= 0 {
+		n = 1
+	}
+	if n <= 256 {
+		return (n + 7) &^ 7
+	}
+	c := 512
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Alloc allocates size bytes from arena 0 and returns the block address.
+// The block contents are zeroed. It panics if the space is exhausted: the
+// workloads are sized to fit, so exhaustion is a configuration bug, not a
+// runtime error to handle.
+func (s *Space) Alloc(size int) Addr {
+	return s.AllocArena(size, WordSize, 0)
+}
+
+// AllocAligned allocates size bytes from arena 0 at an address that is a
+// multiple of align (a power of two >= 8). The paper's kmeans fix
+// (Section 4) aligns clusters to cache-line boundaries; this is the
+// primitive that enables it.
+func (s *Space) AllocAligned(size int, align int) Addr {
+	return s.AllocArena(size, align, 0)
+}
+
+// AllocArena allocates from the given thread arena. Concurrent allocators on
+// different arenas never receive blocks in the same chunk.
+func (s *Space) AllocArena(size, align, arenaID int) Addr {
+	if align < WordSize {
+		align = WordSize
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	cls := roundSize(size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	ar := s.arenas[arenaID]
+	if ar == nil {
+		ar = &arena{free: make(map[int][]uint64)}
+		s.arenas[arenaID] = ar
+	}
+
+	// Reuse a free block of the exact class if one satisfies the alignment.
+	if align == WordSize {
+		if list := ar.free[cls]; len(list) > 0 {
+			a := list[len(list)-1]
+			ar.free[cls] = list[:len(list)-1]
+			s.live[a] = cls
+			s.used += uint64(cls)
+			zero(s.data[a : a+uint64(cls)])
+			return a
+		}
+	}
+
+	// Oversized or highly aligned requests go straight to the global
+	// region; small ones bump within the arena's private chunk.
+	if cls+align > arenaChunk/2 {
+		a := s.bumpLocked(cls, align)
+		s.live[a] = cls
+		s.used += uint64(cls)
+		return a
+	}
+	a := (ar.cur + uint64(align) - 1) &^ (uint64(align) - 1)
+	if a+uint64(cls) > ar.end {
+		if s.next+arenaChunk+256 > uint64(len(s.data)) {
+			// Too little headroom for a fresh chunk (tiny test spaces):
+			// serve the block from the global region directly.
+			g := s.bumpLocked(cls, align)
+			s.live[g] = cls
+			s.used += uint64(cls)
+			return g
+		}
+		start := s.bumpLocked(arenaChunk, 256)
+		ar.cur, ar.end = start, start+arenaChunk
+		a = (ar.cur + uint64(align) - 1) &^ (uint64(align) - 1)
+	}
+	ar.cur = a + uint64(cls)
+	s.live[a] = cls
+	s.used += uint64(cls)
+	return a
+}
+
+// bumpLocked advances the global bump pointer. Caller holds s.mu.
+func (s *Space) bumpLocked(cls, align int) uint64 {
+	a := (s.next + uint64(align) - 1) &^ (uint64(align) - 1)
+	end := a + uint64(cls)
+	if end > uint64(len(s.data)) {
+		panic(fmt.Sprintf("mem: space exhausted: need %d bytes at %d, size %d (used %d)",
+			cls, a, len(s.data), s.used))
+	}
+	s.next = end
+	return a
+}
+
+// Free returns the block at a to a size-class free list. Freeing Nil is a
+// no-op. Freeing an address that is not a live allocation panics (it is
+// always a workload bug).
+func (s *Space) Free(a Addr) {
+	s.FreeArena(a, 0)
+}
+
+// FreeArena returns the block to the given arena's free list (usually the
+// freeing thread's, for reuse locality).
+func (s *Space) FreeArena(a Addr, arenaID int) {
+	if a == Nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cls, ok := s.live[a]
+	if !ok {
+		panic(fmt.Sprintf("mem: free of non-allocated address %#x", a))
+	}
+	delete(s.live, a)
+	s.used -= uint64(cls)
+	ar := s.arenas[arenaID]
+	if ar == nil {
+		ar = &arena{free: make(map[int][]uint64)}
+		s.arenas[arenaID] = ar
+	}
+	ar.free[cls] = append(ar.free[cls], a)
+}
+
+// BlockSize returns the rounded size of the live allocation at a, or 0 if a
+// is not a live allocation.
+func (s *Space) BlockSize(a Addr) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live[a]
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (s *Space) check(a Addr, n int) {
+	if a == Nil {
+		panic("mem: access through nil simulated pointer")
+	}
+	if a+uint64(n) > uint64(len(s.data)) {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) out of arena bounds %d", a, a+uint64(n), len(s.data)))
+	}
+}
+
+// Load64 reads the 8-byte word at address a (untracked).
+func (s *Space) Load64(a Addr) uint64 {
+	s.check(a, 8)
+	return binary.LittleEndian.Uint64(s.data[a:])
+}
+
+// Store64 writes the 8-byte word v at address a (untracked).
+func (s *Space) Store64(a Addr, v uint64) {
+	s.check(a, 8)
+	binary.LittleEndian.PutUint64(s.data[a:], v)
+}
+
+// Load32 reads the 4-byte word at address a (untracked).
+func (s *Space) Load32(a Addr) uint32 {
+	s.check(a, 4)
+	return binary.LittleEndian.Uint32(s.data[a:])
+}
+
+// Store32 writes the 4-byte word v at address a (untracked).
+func (s *Space) Store32(a Addr, v uint32) {
+	s.check(a, 4)
+	binary.LittleEndian.PutUint32(s.data[a:], v)
+}
+
+// Load8 reads the byte at address a (untracked).
+func (s *Space) Load8(a Addr) byte {
+	s.check(a, 1)
+	return s.data[a]
+}
+
+// Store8 writes the byte v at address a (untracked).
+func (s *Space) Store8(a Addr, v byte) {
+	s.check(a, 1)
+	s.data[a] = v
+}
+
+// LoadFloat64 reads the float64 at address a (untracked).
+func (s *Space) LoadFloat64(a Addr) float64 {
+	return math.Float64frombits(s.Load64(a))
+}
+
+// StoreFloat64 writes the float64 v at address a (untracked).
+func (s *Space) StoreFloat64(a Addr, v float64) {
+	s.Store64(a, math.Float64bits(v))
+}
+
+// LoadInt64 reads the word at a as a signed integer (untracked).
+func (s *Space) LoadInt64(a Addr) int64 { return int64(s.Load64(a)) }
+
+// StoreInt64 writes the signed integer v at address a (untracked).
+func (s *Space) StoreInt64(a Addr, v int64) { s.Store64(a, uint64(v)) }
+
+// WriteBytes copies b into the arena at address a (untracked).
+func (s *Space) WriteBytes(a Addr, b []byte) {
+	s.check(a, len(b))
+	copy(s.data[a:], b)
+}
+
+// ReadBytes copies n bytes starting at address a out of the arena (untracked).
+func (s *Space) ReadBytes(a Addr, n int) []byte {
+	s.check(a, n)
+	out := make([]byte, n)
+	copy(out, s.data[a:])
+	return out
+}
+
+// WriteString stores the string v as a length-prefixed byte sequence in a
+// freshly allocated block and returns its address. ReadString reverses it.
+// STAMP's genome stores nucleotide segment strings in shared memory.
+func (s *Space) WriteString(v string) Addr {
+	a := s.Alloc(8 + len(v))
+	s.Store64(a, uint64(len(v)))
+	s.WriteBytes(a+8, []byte(v))
+	return a
+}
+
+// ReadString reads a string previously stored with WriteString.
+func (s *Space) ReadString(a Addr) string {
+	n := int(s.Load64(a))
+	return string(s.ReadBytes(a+8, n))
+}

@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocZeroesAndAligns(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := s.Alloc(24)
+	if a == Nil {
+		t.Fatal("Alloc returned nil address")
+	}
+	if a%WordSize != 0 {
+		t.Errorf("address %#x not word aligned", a)
+	}
+	for i := 0; i < 24; i++ {
+		if s.Load8(a+uint64(i)) != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+}
+
+func TestAllocAligned(t *testing.T) {
+	s := NewSpace(1 << 16)
+	for _, align := range []int{8, 64, 128, 256} {
+		a := s.AllocAligned(40, align)
+		if a%uint64(align) != 0 {
+			t.Errorf("AllocAligned(%d): address %#x misaligned", align, a)
+		}
+	}
+}
+
+func TestAllocAlignedRejectsNonPowerOfTwo(t *testing.T) {
+	s := NewSpace(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment did not panic")
+		}
+	}()
+	s.AllocAligned(8, 24)
+}
+
+func TestFreeReuse(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := s.Alloc(64)
+	s.Store64(a, 0xdeadbeef)
+	s.Free(a)
+	b := s.Alloc(64) // same size class: must reuse the freed block
+	if b != a {
+		t.Errorf("free block not reused: %#x then %#x", a, b)
+	}
+	if s.Load64(b) != 0 {
+		t.Error("reused block not zeroed")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s := NewSpace(1 << 12)
+	a := s.Alloc(8)
+	s.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	s.Free(a)
+}
+
+func TestFreeNilIsNoop(t *testing.T) {
+	s := NewSpace(1 << 12)
+	s.Free(Nil) // must not panic
+}
+
+func TestUsedAccounting(t *testing.T) {
+	s := NewSpace(1 << 16)
+	if s.Used() != 0 {
+		t.Fatalf("fresh space Used = %d", s.Used())
+	}
+	a := s.Alloc(100) // rounds to 104
+	if s.Used() == 0 {
+		t.Error("Used did not grow after Alloc")
+	}
+	s.Free(a)
+	if s.Used() != 0 {
+		t.Errorf("Used = %d after freeing everything", s.Used())
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	s := NewSpace(256)
+	defer func() {
+		if recover() == nil {
+			t.Error("arena exhaustion did not panic")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s.Alloc(64)
+	}
+}
+
+func TestRoundtripAccessors(t *testing.T) {
+	s := NewSpace(1 << 12)
+	a := s.Alloc(64)
+	s.Store64(a, 0x0123456789abcdef)
+	if got := s.Load64(a); got != 0x0123456789abcdef {
+		t.Errorf("Load64 = %#x", got)
+	}
+	s.Store32(a+8, 0xcafebabe)
+	if got := s.Load32(a + 8); got != 0xcafebabe {
+		t.Errorf("Load32 = %#x", got)
+	}
+	s.StoreFloat64(a+16, -2.5)
+	if got := s.LoadFloat64(a + 16); got != -2.5 {
+		t.Errorf("LoadFloat64 = %v", got)
+	}
+	s.StoreInt64(a+24, -123456)
+	if got := s.LoadInt64(a + 24); got != -123456 {
+		t.Errorf("LoadInt64 = %v", got)
+	}
+	s.WriteBytes(a+32, []byte("hello"))
+	if got := string(s.ReadBytes(a+32, 5)); got != "hello" {
+		t.Errorf("ReadBytes = %q", got)
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	s := NewSpace(1 << 14)
+	check := func(v string) bool {
+		if len(v) > 1000 {
+			v = v[:1000]
+		}
+		a := s.WriteString(v)
+		return s.ReadString(a) == v
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNilAccessPanics(t *testing.T) {
+	s := NewSpace(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil access did not panic")
+		}
+	}()
+	s.Load64(Nil)
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	s := NewSpace(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds access did not panic")
+		}
+	}()
+	s.Load64(uint64(s.Size()) - 4)
+}
+
+func TestRoundSizeClasses(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 8}, {1, 8}, {8, 8}, {9, 16}, {24, 24}, {250, 256}, {256, 256},
+		{257, 512}, {512, 512}, {513, 1024}, {5000, 8192},
+	}
+	for _, c := range cases {
+		if got := roundSize(c.in); got != c.want {
+			t.Errorf("roundSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

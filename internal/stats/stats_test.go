@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); !approx(got, 4, 1e-12) {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	// A zero entry must not collapse the mean to 0 (clamped).
+	if got := GeoMean([]float64{0, 4}); got <= 0 {
+		t.Errorf("GeoMean with zero entry = %v, want > 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !approx(got, 2.138, 0.001) {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev of singleton = %v", got)
+	}
+}
+
+func TestCI95FourRuns(t *testing.T) {
+	// The paper averages 4 runs: dof=3 => t=3.182.
+	xs := []float64{10, 12, 11, 13}
+	want := 3.182 * StdDev(xs) / 2 // sqrt(4)=2
+	if got := CI95(xs); !approx(got, want, 1e-9) {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+	if got := CI95([]float64{1}); got != 0 {
+		t.Errorf("CI95 singleton = %v", got)
+	}
+}
+
+func TestCI95LargeN(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	got := CI95(xs)
+	want := 1.96 * StdDev(xs) / 10
+	if !approx(got, want, 1e-9) {
+		t.Errorf("CI95 large-n = %v, want normal approx %v", got, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); !approx(got, 5.5, 1e-12) {
+		t.Errorf("P50 = %v, want 5.5", got)
+	}
+	if got := Percentile(xs, 90); !approx(got, 9.1, 1e-12) {
+		t.Errorf("P90 = %v, want 9.1", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50(nil) = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileIntsMatchesFloat(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ints := make([]int, len(raw))
+		floats := make([]float64, len(raw))
+		for i, v := range raw {
+			ints[i] = int(v)
+			floats[i] = float64(v)
+		}
+		return PercentileInts(ints, 90) == Percentile(floats, 90)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty should be 0")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,354 @@
+// Package tm is the software transactional-memory runtime layered over the
+// HTM engine: the transaction-retry mechanism of the paper's Section 3
+// (Figure 1), the single-global-lock fallback that guarantees forward
+// progress on best-effort HTM, Blue Gene/Q's system-provided retry mechanism
+// with its adaptation heuristic, and Intel's hardware lock elision (HLE)
+// execution mode.
+package tm
+
+import (
+	"sync/atomic"
+
+	"htmcmp/internal/htm"
+	"htmcmp/internal/mem"
+	"htmcmp/internal/platform"
+)
+
+// GlobalLock is the single global lock used as the irrevocable fallback
+// ("a single memory word and spin waiting", Section 3). The lock word lives
+// in simulated memory so that transactions subscribe to it with an ordinary
+// transactional load and are aborted by the cache-coherence conflict when a
+// falling-back thread writes it — exactly the hardware mechanism the paper
+// relies on.
+type GlobalLock struct {
+	addr  mem.Addr
+	state atomic.Int32 // mirrors the simulated word for cheap spinning
+}
+
+// NewGlobalLock allocates the lock word in the engine's simulated memory.
+func NewGlobalLock(e *htm.Engine) *GlobalLock {
+	// The lock word owns a full conflict-detection line so that lock
+	// subscription never falsely conflicts with program data.
+	a := e.Space().AllocAligned(e.LineSize(), e.LineSize())
+	return &GlobalLock{addr: a}
+}
+
+// Addr returns the simulated address of the lock word.
+func (l *GlobalLock) Addr() mem.Addr { return l.addr }
+
+// Held reports whether the lock is currently held (Go-side fast check, used
+// by the retry mechanism's post-abort classification, Figure 1 line 13).
+func (l *GlobalLock) Held() bool { return l.state.Load() != 0 }
+
+// SubscribedHeld reads the lock word transactionally, putting it into the
+// transaction's read set (Figure 1 line 26: "the global lock is first
+// checked, so that the HTM system can keep track of the lock word").
+func (l *GlobalLock) SubscribedHeld(t *htm.Thread) bool {
+	return t.Load64(l.addr) != 0
+}
+
+// Acquire takes the lock, spinning until free, then writes the simulated
+// lock word non-transactionally — which dooms every subscribed transaction.
+func (l *GlobalLock) Acquire(t *htm.Thread) {
+	for !l.state.CompareAndSwap(0, 1) {
+		t.Pause(4)
+	}
+	t.Store64(l.addr, 1)
+}
+
+// Release frees the lock.
+func (l *GlobalLock) Release(t *htm.Thread) {
+	t.Store64(l.addr, 0)
+	l.state.Store(0)
+}
+
+// WaitUntilFree spins until the lock is released (Figure 1 line 9, avoiding
+// the lemming effect: do not start a transaction that is doomed to abort on
+// the held lock).
+func (l *GlobalLock) WaitUntilFree(t *htm.Thread) {
+	for l.state.Load() != 0 {
+		t.Pause(4)
+	}
+}
+
+// Policy holds the maximum retry counts of the paper's three-counter
+// mechanism (Figure 1 lines 1–5) plus the Blue Gene/Q mode options. The
+// paper tunes these per (HTM system, benchmark) pair; internal/harness
+// implements that search.
+type Policy struct {
+	// LockRetry bounds retries of aborts caused by conflicts on the global
+	// lock word.
+	LockRetry int
+	// PersistentRetry bounds retries of aborts the processor reports as
+	// persistent (on zEC12: capacity overflows, per Section 3).
+	PersistentRetry int
+	// TransientRetry bounds retries of all other aborts. For Blue Gene/Q's
+	// single-counter system mechanism this is the only counter used.
+	TransientRetry int
+	// LazySubscription checks the global lock at transaction end instead
+	// of begin (Blue Gene/Q's long-running mode behaviour, Section 3).
+	LazySubscription bool
+	// Adaptation enables Blue Gene/Q's heuristic: transactions that fell
+	// back to the lock too frequently are not allowed to retry on the next
+	// abort (Section 3).
+	Adaptation bool
+}
+
+// DefaultPolicy returns a reasonable untuned policy for a platform.
+func DefaultPolicy(k platform.Kind) Policy {
+	switch k {
+	case platform.BlueGeneQ:
+		return Policy{LockRetry: 8, PersistentRetry: 8, TransientRetry: 8, Adaptation: true}
+	default:
+		return Policy{LockRetry: 8, PersistentRetry: 2, TransientRetry: 8}
+	}
+}
+
+// Stats are the runtime-level counters layered on the engine's: committed
+// transactions split into transactional and irrevocable (lock-protected)
+// executions, and the Figure 3 abort categorisation with lock conflicts
+// identified.
+type Stats struct {
+	TxCommits          uint64
+	IrrevocableCommits uint64
+	Aborts             uint64
+	AbortsByCategory   [htm.NumCategories]uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.TxCommits += o.TxCommits
+	s.IrrevocableCommits += o.IrrevocableCommits
+	s.Aborts += o.Aborts
+	for i := range s.AbortsByCategory {
+		s.AbortsByCategory[i] += o.AbortsByCategory[i]
+	}
+}
+
+// Commits returns all committed critical sections.
+func (s *Stats) Commits() uint64 { return s.TxCommits + s.IrrevocableCommits }
+
+// SerializationRatio is the percentage of committed transactions that ran
+// irrevocably under the global lock (Section 5.1).
+func (s *Stats) SerializationRatio() float64 {
+	c := s.Commits()
+	if c == 0 {
+		return 0
+	}
+	return 100 * float64(s.IrrevocableCommits) / float64(c)
+}
+
+// AbortRatio is the percentage of transaction attempts that aborted
+// (irrevocable executions are not transactions and are excluded, matching
+// the paper's definition in Section 5).
+func (s *Stats) AbortRatio() float64 {
+	attempts := s.TxCommits + s.Aborts
+	if attempts == 0 {
+		return 0
+	}
+	return 100 * float64(s.Aborts) / float64(attempts)
+}
+
+// CategoryBreakdown returns per-category abort percentages of all
+// transaction attempts, the quantity plotted in Figure 3.
+func (s *Stats) CategoryBreakdown() [htm.NumCategories]float64 {
+	var out [htm.NumCategories]float64
+	attempts := s.TxCommits + s.Aborts
+	if attempts == 0 {
+		return out
+	}
+	for i, n := range s.AbortsByCategory {
+		out[i] = 100 * float64(n) / float64(attempts)
+	}
+	return out
+}
+
+// bgqAdaptState implements Blue Gene/Q's adaptation heuristic over a sliding
+// window of recent critical-section executions.
+type bgqAdaptState struct {
+	window    uint32 // bitmask of the last 16 executions; 1 = fell back
+	fallbacks int
+	size      int
+}
+
+func (b *bgqAdaptState) record(fellBack bool) {
+	const width = 16
+	if b.size == width {
+		if b.window&(1<<(width-1)) != 0 {
+			b.fallbacks--
+		}
+		b.window <<= 1
+		b.window &= (1 << width) - 1
+	} else {
+		b.window <<= 1
+		b.size++
+	}
+	if fellBack {
+		b.window |= 1
+		b.fallbacks++
+	}
+}
+
+// suppressed reports whether retrying should be disabled: at least half the
+// recent window fell back to the lock.
+func (b *bgqAdaptState) suppressed() bool {
+	return b.size >= 8 && b.fallbacks*2 >= b.size
+}
+
+// Executor runs critical sections for one thread: transactionally with the
+// platform's retry mechanism, falling back to the global lock. Create one
+// per worker goroutine with NewExecutor.
+type Executor struct {
+	T      *htm.Thread
+	Lock   *GlobalLock
+	Policy Policy
+	Stats  Stats
+
+	isBGQ bool
+	adapt bgqAdaptState
+}
+
+// NewExecutor pairs a hardware thread with the global lock and policy.
+func NewExecutor(t *htm.Thread, lock *GlobalLock, pol Policy) *Executor {
+	return &Executor{
+		T:      t,
+		Lock:   lock,
+		Policy: pol,
+		isBGQ:  t.Engine().Platform().Kind == platform.BlueGeneQ,
+	}
+}
+
+// Run executes body as an atomic critical section: Figure 1 for zEC12,
+// Intel Core and POWER8; the system-provided single-counter mechanism with
+// adaptation for Blue Gene/Q. body observes memory through the executor's
+// Thread and may run either transactionally or irrevocably under the global
+// lock; both provide atomicity and isolation.
+func (x *Executor) Run(body func(t *htm.Thread)) {
+	if x.isBGQ {
+		x.runBGQ(body)
+		return
+	}
+	lockRetry := x.Policy.LockRetry
+	persistentRetry := x.Policy.PersistentRetry
+	transientRetry := x.Policy.TransientRetry
+
+	for {
+		x.Lock.WaitUntilFree(x.T) // line 9: avoid the lemming effect
+		committed, ab := x.T.TryTx(htm.TxNormal, func() {
+			if x.Lock.SubscribedHeld(x.T) { // lines 26–27
+				x.T.Abort()
+			}
+			body(x.T)
+		})
+		if committed {
+			x.Stats.TxCommits++
+			return
+		}
+		x.Stats.Aborts++
+		// Lines 11–24: classify and decide whether to retry.
+		switch {
+		case x.Lock.Held(): // line 13: conflict on the lock word
+			x.Stats.AbortsByCategory[htm.CategoryLockConflict]++
+			lockRetry--
+			if lockRetry > 0 {
+				continue
+			}
+		case ab.Persistent: // line 17
+			x.Stats.AbortsByCategory[ab.Reason.Category()]++
+			persistentRetry--
+			if persistentRetry > 0 {
+				continue
+			}
+		default: // line 21
+			x.Stats.AbortsByCategory[ab.Reason.Category()]++
+			transientRetry--
+			if transientRetry > 0 {
+				continue
+			}
+		}
+		break
+	}
+	x.runIrrevocable(body) // line 25
+}
+
+// runBGQ is Blue Gene/Q's system-provided mechanism: one retry counter, no
+// abort-reason discrimination, optional lazy lock subscription (long-running
+// mode), and the adaptation heuristic (Section 3).
+func (x *Executor) runBGQ(body func(t *htm.Thread)) {
+	retries := x.Policy.TransientRetry
+	if x.Policy.Adaptation && x.adapt.suppressed() {
+		retries = 0
+	}
+	for attempt := 0; attempt <= retries; attempt++ {
+		x.Lock.WaitUntilFree(x.T)
+		committed, _ := x.T.TryTx(htm.TxNormal, func() {
+			if !x.Policy.LazySubscription && x.Lock.SubscribedHeld(x.T) {
+				x.T.Abort()
+			}
+			body(x.T)
+			if x.Policy.LazySubscription && x.Lock.SubscribedHeld(x.T) {
+				x.T.Abort()
+			}
+		})
+		if committed {
+			x.Stats.TxCommits++
+			if x.Policy.Adaptation {
+				x.adapt.record(false)
+			}
+			return
+		}
+		x.Stats.Aborts++
+		x.Stats.AbortsByCategory[htm.CategoryOther]++ // BG/Q exposes no reason
+	}
+	x.runIrrevocable(body)
+	if x.Policy.Adaptation {
+		x.adapt.record(true)
+	}
+}
+
+func (x *Executor) runIrrevocable(body func(t *htm.Thread)) {
+	x.Lock.Acquire(x.T)
+	body(x.T)
+	x.Lock.Release(x.T)
+	x.Stats.IrrevocableCommits++
+}
+
+// RunSTM executes body as a NOrec software transaction, retrying until it
+// commits. STM needs no global-lock fallback: it has no capacity limits and
+// every abort is a genuine value-validation conflict. The comparison of
+// RunSTM against Run on the same workload measures the HTM-vs-STM overhead
+// trade-off the paper's introduction describes.
+func (x *Executor) RunSTM(body func(t *htm.Thread)) {
+	for {
+		committed, _ := x.T.TrySTM(func() { body(x.T) })
+		if committed {
+			x.Stats.TxCommits++
+			return
+		}
+		x.Stats.Aborts++
+		x.Stats.AbortsByCategory[htm.CategoryDataConflict]++
+	}
+}
+
+// RunHLE executes body with hardware lock elision (Intel, Section 2.3): one
+// transactional attempt eliding the lock, and on abort a non-speculative
+// re-execution holding the lock. There is no software retry mechanism to
+// tune — the performance gap to RTM that Figure 7 measures.
+func (x *Executor) RunHLE(body func(t *htm.Thread)) {
+	if !x.T.Engine().Platform().HasHLE {
+		panic("tm: HLE is an Intel Core feature")
+	}
+	x.Lock.WaitUntilFree(x.T)
+	committed, _ := x.T.TryTx(htm.TxNormal, func() {
+		if x.Lock.SubscribedHeld(x.T) {
+			x.T.Abort()
+		}
+		body(x.T)
+	})
+	if committed {
+		x.Stats.TxCommits++
+		return
+	}
+	x.Stats.Aborts++
+	x.runIrrevocable(body)
+}

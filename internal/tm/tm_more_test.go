@@ -1,0 +1,196 @@
+package tm
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"htmcmp/internal/htm"
+	"htmcmp/internal/platform"
+)
+
+// waitFor polls cond (with a generous timeout) while other goroutines run.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within timeout")
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestLazySubscriptionDefersLockCheck: with lazy subscription (BG/Q
+// long-running mode), a transaction that starts while the lock is FREE and
+// finishes while it is free must commit even if its body never re-checks;
+// and one whose body runs while the lock is held must abort at its end.
+func TestLazySubscriptionDefersLockCheck(t *testing.T) {
+	e := newEngine(t, platform.BlueGeneQ, 2)
+	lock := NewGlobalLock(e)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	x := NewExecutor(t0, lock, Policy{TransientRetry: 3, LazySubscription: true, Adaptation: false})
+
+	// Acquire the lock mid-transaction: the lazy check at the end must
+	// catch it.
+	bodyEntered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first := true
+		x.Run(func(th *htm.Thread) {
+			if first {
+				first = false
+				close(bodyEntered)
+				<-release
+			}
+		})
+	}()
+	<-bodyEntered
+	lock.Acquire(t1)
+	close(release)
+	// Wait until the lazy end-of-transaction check has aborted the
+	// attempt before releasing, otherwise the check races the release
+	// and sees a free lock.
+	waitFor(t, func() bool { return e.Stats().Aborts >= 1 })
+	lock.Release(t1)
+	wg.Wait()
+	if x.Stats.Commits() != 1 {
+		t.Errorf("critical section completed %d times, want 1", x.Stats.Commits())
+	}
+	if x.Stats.Aborts == 0 {
+		t.Error("lazy subscription failed to abort the straddling transaction")
+	}
+}
+
+// TestBGQUsesSingleCounter: Blue Gene/Q must ignore the persistent/lock
+// counters (its system mechanism has only one), so a persistently aborting
+// body falls back after exactly TransientRetry+1 attempts.
+func TestBGQUsesSingleCounter(t *testing.T) {
+	e := newEngine(t, platform.BlueGeneQ, 1)
+	lock := NewGlobalLock(e)
+	x := NewExecutor(e.Thread(0), lock, Policy{
+		LockRetry: 100, PersistentRetry: 100, TransientRetry: 3, Adaptation: false,
+	})
+	attempts := 0
+	x.Run(func(th *htm.Thread) {
+		if th.InTx() {
+			attempts++
+			th.Abort()
+		}
+	})
+	if attempts != 4 { // initial + 3 retries
+		t.Errorf("transactional attempts = %d, want 4 (single counter of 3 retries)", attempts)
+	}
+	if x.Stats.IrrevocableCommits != 1 {
+		t.Errorf("IrrevocableCommits = %d, want 1", x.Stats.IrrevocableCommits)
+	}
+}
+
+// TestCategoryReclassification: an abort that happens while the global lock
+// is held is categorised as a lock conflict even if its engine-level reason
+// was something else (Figure 1 line 13 checks the lock first).
+func TestCategoryReclassification(t *testing.T) {
+	e := newEngine(t, platform.POWER8, 2)
+	lock := NewGlobalLock(e)
+	t0, t1 := e.Thread(0), e.Thread(1)
+	x := NewExecutor(t1, lock, Policy{LockRetry: 2, PersistentRetry: 1, TransientRetry: 1})
+
+	// t1 begins a transaction (subscribing to the free lock); t0 then
+	// acquires the lock, dooming t1 via the lock-word conflict. The retry
+	// mechanism sees the lock held and must classify the abort as a lock
+	// conflict.
+	entered := make(chan struct{})
+	locked := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		first := true
+		x.Run(func(th *htm.Thread) {
+			if first && th.InTx() {
+				first = false
+				close(entered)
+				<-locked
+				_ = th.Load64(lock.Addr()) // observe the doom
+			}
+		})
+	}()
+	<-entered
+	lock.Acquire(t0)
+	close(locked)
+	// The classification must run while the lock is still held (the paper
+	// notes a too-early release is misclassified as a data conflict).
+	waitFor(t, func() bool { return e.Stats().Aborts >= 1 })
+	lock.Release(t0)
+	<-done
+	if x.Stats.AbortsByCategory[htm.CategoryLockConflict] == 0 {
+		t.Error("no aborts classified as lock conflicts")
+	}
+}
+
+// TestRunSTMRetriesToCompletion: STM execution has no fallback; contended
+// increments must all commit eventually and exactly.
+func TestRunSTMRetriesToCompletion(t *testing.T) {
+	e := newEngine(t, platform.ZEC12, 4)
+	lock := NewGlobalLock(e)
+	counter := e.Thread(0).Alloc(64)
+	var wg sync.WaitGroup
+	execs := make([]*Executor, 4)
+	for i := 0; i < 4; i++ {
+		execs[i] = NewExecutor(e.Thread(i), lock, DefaultPolicy(platform.ZEC12))
+		wg.Add(1)
+		go func(x *Executor) {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				x.RunSTM(func(th *htm.Thread) {
+					th.Store64(counter, th.Load64(counter)+1)
+				})
+			}
+		}(execs[i])
+	}
+	wg.Wait()
+	if got := e.Thread(0).Load64(counter); got != 1000 {
+		t.Errorf("counter = %d, want 1000", got)
+	}
+	var agg Stats
+	for _, x := range execs {
+		agg.Add(&x.Stats)
+	}
+	if agg.IrrevocableCommits != 0 {
+		t.Error("STM must never take the global lock")
+	}
+	if agg.TxCommits != 1000 {
+		t.Errorf("TxCommits = %d, want 1000", agg.TxCommits)
+	}
+}
+
+// TestPersistentVsTransientCounters: capacity (persistent) aborts must
+// consume the persistent budget, not the transient one.
+func TestPersistentVsTransientCounters(t *testing.T) {
+	e := newEngine(t, platform.POWER8, 1)
+	lock := NewGlobalLock(e)
+	th := e.Thread(0)
+	// 100 store lines always overflows POWER8.
+	n := 100
+	a := th.Alloc(n * e.LineSize())
+	x := NewExecutor(th, lock, Policy{LockRetry: 50, PersistentRetry: 3, TransientRetry: 50})
+	x.Run(func(th *htm.Thread) {
+		if th.InTx() {
+			for i := 0; i < n; i++ {
+				th.Store64(a+uint64(i*e.LineSize()), 1)
+			}
+			return
+		}
+		// Irrevocable path: cheap.
+		th.Store64(a, 1)
+	})
+	if x.Stats.Aborts != 3 {
+		t.Errorf("aborts = %d, want 3 (persistent budget)", x.Stats.Aborts)
+	}
+	if got := x.Stats.AbortsByCategory[htm.CategoryCapacity]; got != 3 {
+		t.Errorf("capacity-category aborts = %d, want 3", got)
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace collects per-transaction footprint distributions — the
+// reproduction of the paper's Figures 10 and 11, which plot each
+// (benchmark, processor) pair's 90-percentile transactional load and store
+// sizes against its abort ratio. The paper gathered addresses with a
+// tracing tool on one machine and mapped them onto each processor's cache
+// lines; we do the equivalent by running each benchmark single-threaded on
+// each platform model with the engine's footprint sampler attached.
+package trace
+
+import (
+	"sync"
+
+	"htmcmp/internal/htm"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+	"htmcmp/internal/stats"
+	"htmcmp/internal/tm"
+)
+
+// Footprint is the per-(benchmark, platform) result: 90-percentile
+// transactional load/store sizes in KB, plus capacity verdicts.
+type Footprint struct {
+	Benchmark string
+	Platform  platform.Kind
+	// P90LoadKB and P90StoreKB are the 90th-percentile committed
+	// transaction footprints, in kilobytes of conflict-detection lines.
+	P90LoadKB  float64
+	P90StoreKB float64
+	// MaxLoadKB/MaxStoreKB are the largest observed footprints.
+	MaxLoadKB  float64
+	MaxStoreKB float64
+	// Transactions is the number of sampled (committed) transactions.
+	Transactions int
+	// ExceedsLoadCap/ExceedsStoreCap report whether the 90-percentile size
+	// exceeds the platform's capacity (the capacity lines drawn in the
+	// figures).
+	ExceedsLoadCap  bool
+	ExceedsStoreCap bool
+}
+
+// Options configure a trace collection.
+type Options struct {
+	Scale stamp.Scale
+	Seed  uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale == 0 {
+		o.Scale = stamp.ScaleSim
+	}
+	return o
+}
+
+// Collect runs benchmark bench single-threaded on platform k with footprint
+// sampling and returns its distribution. Transactions are executed through
+// the normal runtime so fallbacks and retries behave as in measurement runs,
+// but with one thread every transaction commits.
+func Collect(bench string, k platform.Kind, opts Options) (Footprint, error) {
+	opts = opts.withDefaults()
+	var mu sync.Mutex
+	var loads, stores []int
+	e := htm.New(platform.New(k), htm.Config{
+		Threads:   1,
+		SpaceSize: 96 << 20,
+		Seed:      opts.Seed,
+		CostScale: 0,
+		Virtual:   true,
+		// The paper's trace tool measured transaction sizes without any
+		// capacity limit, then compared them against each platform's
+		// budget; we do the same.
+		UnboundedCapacity: true,
+		FootprintSampler: func(readLines, writeLines int) {
+			mu.Lock()
+			loads = append(loads, readLines)
+			stores = append(stores, writeLines)
+			mu.Unlock()
+		},
+	})
+	b, err := stamp.New(bench, stamp.Config{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return Footprint{}, err
+	}
+	b.Setup(e.Thread(0))
+	lock := tm.NewGlobalLock(e)
+	x := tm.NewExecutor(e.Thread(0), lock, tm.DefaultPolicy(k))
+	b.Run([]stamp.Runner{stamp.TMRunner{X: x}})
+	if err := b.Validate(e.Thread(0)); err != nil {
+		return Footprint{}, err
+	}
+
+	line := float64(e.LineSize())
+	toKB := func(lines float64) float64 { return lines * line / 1024 }
+	spec := e.Platform()
+	fp := Footprint{
+		Benchmark:    bench,
+		Platform:     k,
+		P90LoadKB:    toKB(stats.PercentileInts(loads, 90)),
+		P90StoreKB:   toKB(stats.PercentileInts(stores, 90)),
+		MaxLoadKB:    toKB(stats.PercentileInts(loads, 100)),
+		MaxStoreKB:   toKB(stats.PercentileInts(stores, 100)),
+		Transactions: len(loads),
+	}
+	fp.ExceedsLoadCap = fp.P90LoadKB > float64(spec.LoadCapacity)/1024
+	fp.ExceedsStoreCap = fp.P90StoreKB > float64(spec.StoreCapacity)/1024
+	return fp, nil
+}
+
+// CollectAll gathers footprints for every benchmark × platform pair
+// (Figures 10 and 11 use all pairs except bayes, which the paper drops from
+// analysis; it is included here and callers may filter).
+func CollectAll(opts Options) ([]Footprint, error) {
+	var out []Footprint
+	for _, bench := range stamp.Names() {
+		for _, k := range platform.Kinds() {
+			fp, err := Collect(bench, k, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fp)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"testing"
+
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+)
+
+func TestCollectKmeansFootprints(t *testing.T) {
+	fp, err := Collect("kmeans-low", platform.ZEC12, Options{Scale: stamp.ScaleTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Transactions == 0 {
+		t.Fatal("no transactions sampled")
+	}
+	// A kmeans transaction updates one cluster record: tiny footprints.
+	if fp.P90StoreKB > 1 {
+		t.Errorf("kmeans P90 store = %.2f KB, want < 1 KB", fp.P90StoreKB)
+	}
+	if fp.ExceedsLoadCap || fp.ExceedsStoreCap {
+		t.Error("kmeans must fit every platform's capacity")
+	}
+}
+
+func TestCollectLabyrinthExceedsPOWER8(t *testing.T) {
+	fp, err := Collect("labyrinth", platform.POWER8, Options{Scale: stamp.ScaleSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The routing BFS reads most of the 24 KB grid: far beyond POWER8's
+	// 8 KB TMCAM — the Figure 10 point that explains labyrinth on POWER8.
+	if !fp.ExceedsLoadCap {
+		t.Errorf("labyrinth P90 load %.1f KB does not exceed POWER8's 8 KB capacity", fp.P90LoadKB)
+	}
+}
+
+func TestCollectYadaStoresPressZEC12(t *testing.T) {
+	fp, err := Collect("yada", platform.ZEC12, Options{Scale: stamp.ScaleSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cavity retriangulation writes tens of 256-byte elements: at or above
+	// the 8 KB gathering store cache (Figure 11's yada story).
+	if fp.MaxStoreKB < 6 {
+		t.Errorf("yada max store footprint %.1f KB, want >= 6 (store-capacity pressure)", fp.MaxStoreKB)
+	}
+}
+
+func TestCollectRejectsUnknownBenchmark(t *testing.T) {
+	if _, err := Collect("nope", platform.ZEC12, Options{}); err == nil {
+		t.Error("unknown benchmark did not error")
+	}
+}
