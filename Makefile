@@ -1,0 +1,48 @@
+# Make targets mirror what CI runs, so humans and the workflow invoke the
+# same commands.
+
+GO      ?= go
+BIN     := bin
+SMOKE   := /tmp/htmcmp-smoke
+JOBS    ?= 4
+
+.PHONY: build test race lint bench-smoke clean
+
+build:
+	$(GO) build ./...
+	$(GO) build -o $(BIN)/htmbench ./cmd/htmbench
+	$(GO) build -o $(BIN)/htmtrace ./cmd/htmtrace
+	$(GO) build -o $(BIN)/htmtune ./cmd/htmtune
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+lint:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# bench-smoke runs the figure sweep twice at test scale against a fresh
+# cache: the first run computes every cell, the second must report a 100%
+# cache hit (all cells skipped) and emit byte-identical tables.
+bench-smoke: build
+	rm -rf $(SMOKE)
+	mkdir -p $(SMOKE)
+	./$(BIN)/htmbench -exp fig2+3 -scale test -jobs $(JOBS) \
+		-cache-dir $(SMOKE)/cache >$(SMOKE)/run1.txt 2>$(SMOKE)/run1.log
+	./$(BIN)/htmbench -exp fig2+3 -scale test -jobs $(JOBS) \
+		-cache-dir $(SMOKE)/cache >$(SMOKE)/run2.txt 2>$(SMOKE)/run2.log
+	cmp $(SMOKE)/run1.txt $(SMOKE)/run2.txt
+	grep -q 'hit=100.0%' $(SMOKE)/run2.log || { \
+		echo "second run did not skip all cells:"; cat $(SMOKE)/run2.log; exit 1; }
+	grep -q ' computed=0 ' $(SMOKE)/run2.log || { \
+		echo "second run recomputed cells:"; cat $(SMOKE)/run2.log; exit 1; }
+	@echo "bench-smoke ok: warm-cache run skipped 100% of cells, tables byte-identical"
+
+clean:
+	rm -rf $(BIN) $(SMOKE) .htmcache

@@ -6,9 +6,17 @@
 // Usage:
 //
 //	htmbench -exp fig2 [-scale sim] [-repeats 2] [-tune] [-csv] [-v]
+//	         [-jobs N] [-cache-dir .htmcache] [-no-cache] [-resume=false]
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
 // fig11, prefetch (the Section 5.1 ablation), or all.
+//
+// Sweeps are scheduled: the selected experiments are first decomposed into
+// their independent (benchmark, platform, threads, variant, seed) cells,
+// which a worker pool executes concurrently (-jobs) on top of a
+// content-addressed on-disk result cache (-cache-dir), so a rerun or an
+// interrupted sweep resumes by skipping completed cells. Tables are then
+// rendered from the precomputed results, byte-identical to a serial run.
 package main
 
 import (
@@ -16,10 +24,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"htmcmp/internal/cache"
 	"htmcmp/internal/features"
 	"htmcmp/internal/harness"
+	"htmcmp/internal/harness/sweep"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 	"htmcmp/internal/trace"
@@ -33,6 +45,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	verbose := flag.Bool("v", false, "log per-point progress to stderr")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep workers")
+	cacheDir := flag.String("cache-dir", ".htmcache", "on-disk result cache directory")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache entirely")
+	resume := flag.Bool("resume", true, "reuse cached results from earlier runs (false recomputes and overwrites)")
+	cellTimeout := flag.Duration("cell-timeout", 30*time.Minute, "per-cell wall-clock budget (0 = unbounded)")
+	progress := flag.Bool("progress", true, "print live sweep progress/ETA to stderr")
 	flag.Parse()
 
 	var scale stamp.Scale
@@ -53,115 +71,176 @@ func main() {
 		Tune:    *tune,
 		Seed:    *seed,
 	}
-	if *verbose {
-		opts.Log = os.Stderr
-	}
-
-	emit := func(t harness.Table) {
-		if *csv {
-			t.CSV(os.Stdout)
-		} else {
-			t.Fprint(os.Stdout)
-		}
-	}
-
-	run := func(name string) error {
-		switch name {
-		case "table1":
-			emit(harness.Table1())
-		case "fig2", "fig3":
-			f2, f3, err := harness.Fig2And3(opts)
-			if err != nil {
-				return err
-			}
-			if name == "fig2" {
-				emit(f2)
-			} else {
-				emit(f3)
-			}
-		case "fig2+3":
-			f2, f3, err := harness.Fig2And3(opts)
-			if err != nil {
-				return err
-			}
-			emit(f2)
-			emit(f3)
-		case "fig4":
-			t, err := harness.Fig4(opts)
-			if err != nil {
-				return err
-			}
-			emit(t)
-		case "fig5":
-			t, err := harness.Fig5(opts)
-			if err != nil {
-				return err
-			}
-			emit(t)
-		case "fig6":
-			t, err := fig6Table(opts)
-			if err != nil {
-				return err
-			}
-			emit(t)
-		case "fig7":
-			t, err := harness.Fig7(opts)
-			if err != nil {
-				return err
-			}
-			emit(t)
-		case "fig9":
-			t, err := fig9Table(opts)
-			if err != nil {
-				return err
-			}
-			emit(t)
-		case "fig10", "fig11":
-			t10, t11, err := figFootprintTables(opts)
-			if err != nil {
-				return err
-			}
-			if name == "fig10" {
-				emit(t10)
-			} else {
-				emit(t11)
-			}
-		case "prefetch":
-			t, err := harness.PrefetchAblation(opts)
-			if err != nil {
-				return err
-			}
-			emit(t)
-		case "stm":
-			t, err := harness.STMComparison(opts)
-			if err != nil {
-				return err
-			}
-			emit(t)
-		case "capacity":
-			for _, bench := range []string{"intruder", "vacation-high", "yada"} {
-				t, err := harness.CapacitySweep(opts, bench)
-				if err != nil {
-					return err
-				}
-				emit(t)
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
-	}
 
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig2+3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "prefetch", "stm", "capacity"}
 	}
+
+	var store *cache.Store
+	if !*noCache {
+		var err error
+		store, err = cache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: %v (continuing without cache)\n", err)
+		}
+	}
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
+	}
+	sched := sweep.New(sweep.Config{
+		Jobs:     *jobs,
+		Cache:    store,
+		Resume:   *resume,
+		Timeout:  *cellTimeout,
+		Progress: progressW,
+	})
+
+	// Planning pass: record every cell the selected experiments will
+	// request. Tables are rendered against zero results and discarded;
+	// experiments without sweep cells (table1, fig6, fig9) are skipped.
+	plan := sweep.NewPlan()
+	planOpts := opts
+	planOpts.Exec = plan
 	for _, n := range names {
-		if err := run(n); err != nil {
-			fmt.Fprintf(os.Stderr, "htmbench: %s: %v\n", n, err)
+		if !hasCells(n) {
+			continue
+		}
+		if err := runExperiment(n, planOpts, plan, io.Discard, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: planning %s: %v\n", n, err)
 			os.Exit(1)
 		}
 	}
+
+	// Execution pass: the worker pool computes (or loads) every cell.
+	sum := sched.Prewarm(plan.Cells())
+
+	// Render pass: the experiments re-run serially, now satisfied from
+	// the precomputed results, so tables come out byte-identical to a
+	// fully serial run.
+	renderOpts := opts
+	renderOpts.Exec = sched
+	if *verbose {
+		renderOpts.Log = os.Stderr
+	}
+	for _, n := range names {
+		if err := runExperiment(n, renderOpts, sched, os.Stdout, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: %s: %v\n", n, err)
+			fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
+}
+
+// hasCells reports whether the experiment decomposes into sweep cells; the
+// remaining ones (static tables and the special-feature microbenchmarks) run
+// inline during the render pass only.
+func hasCells(name string) bool {
+	switch name {
+	case "table1", "fig6", "fig9":
+		return false
+	}
+	return true
+}
+
+// runExperiment renders one experiment to out. The Exec inside opts (and
+// coll, its trace counterpart) decides how measurement cells are satisfied:
+// a *sweep.Plan records them, a *sweep.Scheduler serves them precomputed,
+// and nil computes them inline.
+func runExperiment(name string, opts harness.Options, coll trace.Collector, out io.Writer, csv bool) error {
+	emit := func(t harness.Table) {
+		if csv {
+			t.CSV(out)
+		} else {
+			t.Fprint(out)
+		}
+	}
+	switch name {
+	case "table1":
+		emit(harness.Table1())
+	case "fig2", "fig3":
+		f2, f3, err := harness.Fig2And3(opts)
+		if err != nil {
+			return err
+		}
+		if name == "fig2" {
+			emit(f2)
+		} else {
+			emit(f3)
+		}
+	case "fig2+3":
+		f2, f3, err := harness.Fig2And3(opts)
+		if err != nil {
+			return err
+		}
+		emit(f2)
+		emit(f3)
+	case "fig4":
+		t, err := harness.Fig4(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "fig5":
+		t, err := harness.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "fig6":
+		t, err := fig6Table(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "fig7":
+		t, err := harness.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "fig9":
+		t, err := fig9Table(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "fig10", "fig11":
+		t10, t11, err := figFootprintTables(opts, coll)
+		if err != nil {
+			return err
+		}
+		if name == "fig10" {
+			emit(t10)
+		} else {
+			emit(t11)
+		}
+	case "prefetch":
+		t, err := harness.PrefetchAblation(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "stm":
+		t, err := harness.STMComparison(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	case "capacity":
+		for _, bench := range []string{"intruder", "vacation-high", "yada"} {
+			t, err := harness.CapacitySweep(opts, bench)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
 }
 
 // fig6Table renders the Figure 6 CLQ experiment.
@@ -218,10 +297,11 @@ func fig9Table(opts harness.Options) (harness.Table, error) {
 	return t, nil
 }
 
-// figFootprintTables renders Figures 10 and 11.
-func figFootprintTables(opts harness.Options) (t10, t11 harness.Table, err error) {
+// figFootprintTables renders Figures 10 and 11; coll routes the footprint
+// collections through the sweep (nil collects inline).
+func figFootprintTables(opts harness.Options, coll trace.Collector) (t10, t11 harness.Table, err error) {
 	logf(opts.Log, "fig10/11: transaction footprint traces")
-	fps, err := trace.CollectAll(trace.Options{Scale: opts.Scale, Seed: opts.Seed})
+	fps, err := trace.CollectAll(trace.Options{Scale: opts.Scale, Seed: opts.Seed, Exec: coll})
 	if err != nil {
 		return t10, t11, err
 	}

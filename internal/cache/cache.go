@@ -1,0 +1,124 @@
+// Package cache is a content-addressed on-disk store for experiment
+// results. Keys are SHA-256 hashes of a canonical JSON encoding of the
+// inputs (plus a schema version), so a record is found again only when every
+// input that could change the result is unchanged. Values are JSON files
+// under <dir>/<kk>/<key>.json, written atomically, which makes the store
+// safe to share between concurrent sweep workers and robust to interrupted
+// runs: a killed sweep leaves only complete records behind, and the next run
+// resumes by hitting them.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Key derives the content address for the given inputs: a SHA-256 over the
+// version string and the canonical JSON encoding of v. Any change to either
+// produces a different key, which is how stale results are invalidated.
+func Key(version string, v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("cache: key inputs: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(version))
+	h.Write([]byte{0})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Store is an on-disk result store rooted at a directory.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file that key is stored at. Records are fanned out into
+// 256 subdirectories by the first key byte to keep directories small.
+func (s *Store) Path(key string) string {
+	if len(key) < 2 {
+		return filepath.Join(s.dir, key+".json")
+	}
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get loads the record for key into out. It reports false for a missing
+// entry; a corrupt entry (unreadable JSON) is deleted and reported as a miss
+// so the caller recomputes it, rather than poisoning every later run.
+func (s *Store) Get(key string, out any) (bool, error) {
+	path := s.Path(key)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("cache: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		os.Remove(path)
+		return false, nil
+	}
+	return true, nil
+}
+
+// Put stores v under key, atomically: the record is written to a temporary
+// file in the same directory and renamed into place, so concurrent readers
+// never observe a partial write.
+func (s *Store) Put(key string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("cache: encode %s: %w", key, err)
+	}
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: write %s: %v/%v", path, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Len counts the stored records (for reporting; walks the directory).
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Score float64
+	Raw   []int
+}
+
+func TestKeyStability(t *testing.T) {
+	a, err := Key("v1", payload{Name: "x", Score: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key("v1", payload{Name: "x", Score: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same inputs keyed differently: %s vs %s", a, b)
+	}
+	c, _ := Key("v1", payload{Name: "x", Score: 1.6})
+	if a == c {
+		t.Error("different inputs collided")
+	}
+	d, _ := Key("v2", payload{Name: "x", Score: 1.5})
+	if a == d {
+		t.Error("different versions collided")
+	}
+	if len(a) != 64 {
+		t.Errorf("key length = %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestKeyUnencodable(t *testing.T) {
+	if _, err := Key("v1", func() {}); err == nil {
+		t.Error("expected error for unencodable key input")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "genome", Score: 2.25, Raw: []int{1, 2, 3}}
+	key, _ := Key("v1", in)
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Get(key, &out)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v; want hit", ok, err)
+	}
+	if out.Name != in.Name || out.Score != in.Score || len(out.Raw) != 3 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Get("deadbeef", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("hit on missing key")
+	}
+}
+
+func TestCorruptEntryIsMissAndRemoved(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("v1", payload{Name: "x"})
+	if err := s.Put(key, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(key), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Get(key, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("corrupt entry reported as hit")
+	}
+	if _, err := os.Stat(s.Path(key)); !os.IsNotExist(err) {
+		t.Error("corrupt entry not removed")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("v1", "k")
+	if err := s.Put(key, payload{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, payload{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if ok, _ := s.Get(key, &out); !ok || out.Name != "b" {
+		t.Errorf("overwrite lost: %+v", out)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("expected error for empty dir")
+	}
+}
+
+func TestPathFanout(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Path("abcdef")
+	if filepath.Dir(p) != filepath.Join(s.Dir(), "ab") {
+		t.Errorf("path %s not fanned out by prefix", p)
+	}
+}

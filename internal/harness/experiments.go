@@ -10,6 +10,18 @@ import (
 	"htmcmp/internal/stats"
 )
 
+// Exec abstracts how measurement cells are executed. Experiments request
+// every measured point through it, which lets a sweep scheduler first record
+// the flat cell list (a planning pass), then serve the very same requests
+// from a concurrently precomputed, cached result set. A nil Exec runs each
+// point inline, exactly as the serial code always has.
+type Exec interface {
+	// Measure runs (or replays) one measured cell. With tune set, the
+	// point goes through the Tune retry-count search instead of a plain
+	// Run, and the tuned re-measured Result is returned.
+	Measure(spec RunSpec, tune bool) (Result, error)
+}
+
 // Options configure an experiment reproduction.
 type Options struct {
 	// Scale selects the input size (default ScaleSim).
@@ -25,6 +37,9 @@ type Options struct {
 	Seed uint64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Exec, when non-nil, executes measurement cells (sweep scheduling /
+	// caching); nil executes them inline.
+	Exec Exec
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +62,21 @@ func (o Options) logf(format string, args ...interface{}) {
 	if o.Log != nil {
 		fmt.Fprintf(o.Log, format+"\n", args...)
 	}
+}
+
+// runSpec executes one cell through Exec when set, or inline otherwise.
+func (o Options) runSpec(spec RunSpec, tune bool) (Result, error) {
+	if o.Exec != nil {
+		return o.Exec.Measure(spec, tune)
+	}
+	if tune {
+		tr, err := Tune(spec)
+		if err != nil {
+			return Result{}, err
+		}
+		return tr.Result, nil
+	}
+	return Run(spec)
 }
 
 // measure runs (tuned or default) one benchmark/platform/threads point.
@@ -72,19 +102,15 @@ func (o Options) measure(k platform.Kind, bench string, threads int, variant sta
 			spec.ChunkStep1 = 9 // the paper's tuned value (Section 4)
 		}
 	}
-	if o.Tune {
-		tr, err := Tune(spec)
-		if err != nil {
-			return Result{}, err
-		}
-		o.logf("  %-14s %-12s t=%-2d tuned -> speedup %.2f", bench, k, threads, tr.Result.Speedup)
-		return tr.Result, nil
-	}
-	res, err := Run(spec)
+	res, err := o.runSpec(spec, o.Tune)
 	if err != nil {
 		return Result{}, err
 	}
-	o.logf("  %-14s %-12s t=%-2d speedup %.2f abort %.1f%%", bench, k, threads, res.Speedup, res.AbortRatio)
+	if o.Tune {
+		o.logf("  %-14s %-12s t=%-2d tuned -> speedup %.2f", bench, k, threads, res.Speedup)
+	} else {
+		o.logf("  %-14s %-12s t=%-2d speedup %.2f abort %.1f%%", bench, k, threads, res.Speedup, res.AbortRatio)
+	}
 	return res, nil
 }
 
@@ -174,8 +200,8 @@ func Fig2And3(opts Options) (fig2, fig3 Table, err error) {
 	opts = opts.withDefaults()
 	kinds := platform.Kinds()
 	fig2 = Table{
-		Title: "Figure 2: speed-up over sequential, modified STAMP, 4 threads",
-		Note:  "error column is the 95% confidence half-width; bayes excluded from geomean",
+		Title:  "Figure 2: speed-up over sequential, modified STAMP, 4 threads",
+		Note:   "error column is the 95% confidence half-width; bayes excluded from geomean",
 		Header: []string{"benchmark"},
 	}
 	for _, k := range kinds {
@@ -326,7 +352,7 @@ func Fig7(opts Options) (Table, error) {
 			Repeats:   opts.Repeats,
 			UseHLE:    true,
 		}
-		hle, err := Run(hleSpec)
+		hle, err := opts.runSpec(hleSpec, false)
 		if err != nil {
 			return t, err
 		}
@@ -368,7 +394,7 @@ func PrefetchAblation(opts Options) (Table, error) {
 				Repeats:         opts.Repeats,
 				DisablePrefetch: disable,
 			}
-			res, err := Run(spec)
+			res, err := opts.runSpec(spec, false)
 			if err != nil {
 				return t, err
 			}

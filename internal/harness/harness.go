@@ -52,6 +52,24 @@ type RunSpec struct {
 	SpaceSize int
 }
 
+// Label is a short human-readable identifier for progress reporting.
+func (s RunSpec) Label() string {
+	l := fmt.Sprintf("%s/%s/t%d", s.Benchmark, s.Platform.Short(), s.Threads)
+	switch {
+	case s.UseHLE:
+		l += "/hle"
+	case s.UseSTM:
+		l += "/stm"
+	}
+	if s.DisablePrefetch {
+		l += "/nopf"
+	}
+	if s.TMCAMEntries > 0 {
+		l += fmt.Sprintf("/cam%d", s.TMCAMEntries)
+	}
+	return l
+}
+
 func (s RunSpec) withDefaults() RunSpec {
 	if s.Repeats <= 0 {
 		s.Repeats = 2

@@ -17,8 +17,8 @@ import (
 func STMComparison(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	t := Table{
-		Title: "Extension: HTM (zEC12 model) vs NOrec STM, modified STAMP",
-		Note:  "speed-up over the same sequential baseline; STM pays instrumentation but has no capacity limits",
+		Title:  "Extension: HTM (zEC12 model) vs NOrec STM, modified STAMP",
+		Note:   "speed-up over the same sequential baseline; STM pays instrumentation but has no capacity limits",
 		Header: []string{"benchmark", "HTM t=1", "STM t=1", "HTM t=4", "STM t=4", "STM abort% t=4"},
 	}
 	var htm1s, stm1s, htm4s, stm4s []float64
@@ -39,7 +39,7 @@ func STMComparison(opts Options) (Table, error) {
 				Repeats:   opts.Repeats,
 				UseSTM:    cfg.useSTM,
 			}
-			res, err := Run(spec)
+			res, err := opts.runSpec(spec, false)
 			if err != nil {
 				return t, err
 			}
@@ -77,16 +77,16 @@ func CapacitySweep(opts Options, bench string) (Table, error) {
 	}
 	for _, entries := range []int{64, 128, 256, 512, 1024} {
 		spec := RunSpec{
-			Platform:  platform.POWER8,
-			Benchmark: bench,
-			Threads:   12,
-			Scale:     opts.Scale,
-			Seed:      opts.Seed,
-			CostScale: opts.CostScale,
-			Repeats:   opts.Repeats,
+			Platform:     platform.POWER8,
+			Benchmark:    bench,
+			Threads:      12,
+			Scale:        opts.Scale,
+			Seed:         opts.Seed,
+			CostScale:    opts.CostScale,
+			Repeats:      opts.Repeats,
 			TMCAMEntries: entries,
 		}
-		res, err := Run(spec)
+		res, err := opts.runSpec(spec, false)
 		if err != nil {
 			return t, err
 		}

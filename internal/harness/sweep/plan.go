@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"sync"
+
+	"htmcmp/internal/harness"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/trace"
+)
+
+// Plan records the cells an experiment requests without executing any of
+// them. Running an experiment with a Plan as its Exec/Collector is the
+// planning pass: experiment control flow never depends on measured values
+// (the loops range over static benchmark/platform/thread lists), so the
+// recorded list is exactly the set of cells the later render pass will ask
+// for. Requests receive zero-valued results; the rendered output of the
+// planning pass is discarded.
+//
+// Plan is safe for concurrent use, though experiments plan serially today.
+type Plan struct {
+	mu    sync.Mutex
+	cells []Cell
+	seen  map[string]bool
+}
+
+// NewPlan returns an empty Plan.
+func NewPlan() *Plan {
+	return &Plan{seen: map[string]bool{}}
+}
+
+func (p *Plan) add(c Cell) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if key, err := c.Key(); err == nil {
+		if p.seen[key] {
+			return
+		}
+		p.seen[key] = true
+	}
+	p.cells = append(p.cells, c)
+}
+
+// Cells returns the recorded cells, deduplicated, in first-request order.
+func (p *Plan) Cells() []Cell {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Cell, len(p.cells))
+	copy(out, p.cells)
+	return out
+}
+
+// Measure implements harness.Exec by recording the cell.
+func (p *Plan) Measure(spec harness.RunSpec, tune bool) (harness.Result, error) {
+	kind := Measure
+	if tune {
+		kind = TuneMeasure
+	}
+	p.add(Cell{Kind: kind, Spec: spec})
+	return harness.Result{}, nil
+}
+
+// Collect implements trace.Collector by recording the cell.
+func (p *Plan) Collect(bench string, k platform.Kind, opts trace.Options) (trace.Footprint, error) {
+	p.add(Cell{Kind: Footprint, Bench: bench, Platform: k, Scale: opts.Scale, Seed: opts.Seed})
+	return trace.Footprint{}, nil
+}

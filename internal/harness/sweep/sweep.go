@@ -1,0 +1,417 @@
+// Package sweep schedules experiment sweeps. Every figure of the paper is a
+// sweep over benchmark × platform × thread-count cells, and each cell is an
+// independent, deterministic simulation — so instead of walking them one at
+// a time, the harness decomposes an experiment into a flat list of Cell
+// jobs (a planning pass records each requested point), a bounded worker
+// pool executes the cells concurrently with per-cell panic recovery and
+// timeouts, and the experiment then renders its tables from the precomputed
+// results. Because every cell is seeded from its own spec and never shares
+// state with its neighbours, the parallel results are bit-identical to the
+// serial path.
+//
+// A content-addressed on-disk cache (internal/cache) sits underneath the
+// scheduler: a rerun — or a sweep interrupted halfway — resumes by loading
+// completed cells instead of recomputing them.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htmcmp/internal/cache"
+	"htmcmp/internal/harness"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+	"htmcmp/internal/trace"
+)
+
+// ResultsVersion versions the semantics of cached results. Bump it whenever
+// the simulation, the benchmarks, or the Result encoding change in a way
+// that makes previously cached cells stale; it is folded into every cache
+// key, so old records simply stop matching.
+const ResultsVersion = "htmcmp-results-v1"
+
+// Kind discriminates the unit of work a Cell carries.
+type Kind int
+
+const (
+	// Measure is one harness.Run of the cell's RunSpec.
+	Measure Kind = iota
+	// TuneMeasure is a harness.Tune search over the cell's RunSpec
+	// followed by a re-measured Run of the winner.
+	TuneMeasure
+	// Footprint is one trace.Collect footprint pass.
+	Footprint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Measure:
+		return "measure"
+	case TuneMeasure:
+		return "tune"
+	case Footprint:
+		return "footprint"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Cell is one independent job of a sweep: a (benchmark, platform, threads,
+// variant, seed) measurement or a footprint collection. Its JSON encoding,
+// together with ResultsVersion, is its cache identity.
+type Cell struct {
+	Kind Kind `json:"kind"`
+	// Spec is the measured configuration (Measure and TuneMeasure).
+	Spec harness.RunSpec `json:"spec,omitempty"`
+	// Bench/Platform/Scale/Seed identify a Footprint collection.
+	Bench    string        `json:"bench,omitempty"`
+	Platform platform.Kind `json:"platform,omitempty"`
+	Scale    stamp.Scale   `json:"scale,omitempty"`
+	Seed     uint64        `json:"seed,omitempty"`
+}
+
+// Key returns the cell's content address under ResultsVersion.
+func (c Cell) Key() (string, error) {
+	return cache.Key(ResultsVersion, c)
+}
+
+// Label is a short identifier for progress and error reporting.
+func (c Cell) Label() string {
+	if c.Kind == Footprint {
+		return fmt.Sprintf("trace/%s/%s", c.Bench, c.Platform.Short())
+	}
+	l := c.Spec.Label()
+	if c.Kind == TuneMeasure {
+		l += "/tuned"
+	}
+	return l
+}
+
+// record is the on-disk cache payload: the cell (for human debugging of the
+// cache directory) plus its result.
+type record struct {
+	Cell      Cell             `json:"cell"`
+	Result    *harness.Result  `json:"result,omitempty"`
+	Footprint *trace.Footprint `json:"footprint,omitempty"`
+}
+
+// outcome is the in-memory result of a cell.
+type outcome struct {
+	res harness.Result
+	fp  trace.Footprint
+	err error
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Jobs is the worker-pool size; <= 0 means GOMAXPROCS.
+	Jobs int
+	// Cache, when non-nil, persists results between runs.
+	Cache *cache.Store
+	// Resume reads previously cached results (a fresh or interrupted
+	// sweep skips completed cells). When false, every cell is recomputed
+	// and, if Cache is set, its record overwritten.
+	Resume bool
+	// Timeout bounds each cell's wall-clock time; 0 means unbounded. A
+	// timed-out cell fails with an error (its goroutine is abandoned —
+	// the simulator has no preemption points).
+	Timeout time.Duration
+	// Progress, when non-nil, receives live progress/ETA lines.
+	Progress io.Writer
+}
+
+// Summary reports what a Prewarm pass did.
+type Summary struct {
+	Cells    int // unique cells scheduled
+	Computed int // executed in this pass
+	Cached   int // satisfied from the on-disk cache
+	Failed   int // ended in error (including panics and timeouts)
+	Elapsed  time.Duration
+}
+
+// HitRatio is the fraction of cells served from cache, in percent.
+func (s Summary) HitRatio() float64 {
+	if s.Cells == 0 {
+		return 0
+	}
+	return 100 * float64(s.Cached) / float64(s.Cells)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("cells=%d computed=%d cached=%d failed=%d hit=%.1f%% elapsed=%s",
+		s.Cells, s.Computed, s.Cached, s.Failed, s.HitRatio(), s.Elapsed.Round(time.Millisecond))
+}
+
+// Scheduler executes cells through a bounded worker pool and memoises their
+// outcomes. It implements harness.Exec and trace.Collector, so experiments
+// rendered with it transparently read the precomputed results; a cell that
+// was never prewarmed (plan drift) is computed inline on first request, so
+// rendering is always correct, just slower.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	memo     map[string]outcome
+	lastLine time.Time
+
+	// progress counters (guarded by mu)
+	total    int
+	done     int
+	computed int
+	cached   int
+	failed   int
+	start    time.Time
+}
+
+// New builds a Scheduler from cfg.
+func New(cfg Config) *Scheduler {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{cfg: cfg, memo: map[string]outcome{}}
+}
+
+// cellRunner is the signature of the runCellHook test seam.
+type cellRunner func(Cell) (harness.Result, trace.Footprint, error)
+
+// runCellHook, when set, replaces cell execution (test seam for panic and
+// timeout injection). Accessed atomically: a timed-out cell's abandoned
+// goroutine may still read it after the test that installed it has restored
+// the previous value.
+var runCellHook atomic.Pointer[cellRunner]
+
+// runCell executes one cell inline.
+func runCell(c Cell) outcome {
+	if h := runCellHook.Load(); h != nil {
+		r, fp, err := (*h)(c)
+		return outcome{res: r, fp: fp, err: err}
+	}
+	switch c.Kind {
+	case Measure:
+		r, err := harness.Run(c.Spec)
+		return outcome{res: r, err: err}
+	case TuneMeasure:
+		tr, err := harness.Tune(c.Spec)
+		return outcome{res: tr.Result, err: err}
+	case Footprint:
+		fp, err := trace.Collect(c.Bench, c.Platform, trace.Options{Scale: c.Scale, Seed: c.Seed})
+		return outcome{fp: fp, err: err}
+	}
+	return outcome{err: fmt.Errorf("sweep: unknown cell kind %d", int(c.Kind))}
+}
+
+// execCell runs a cell with panic recovery and the configured timeout.
+func (s *Scheduler) execCell(c Cell) outcome {
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("sweep: cell %s panicked: %v\n%s", c.Label(), r, debug.Stack())}
+			}
+		}()
+		ch <- runCell(c)
+	}()
+	if s.cfg.Timeout <= 0 {
+		return <-ch
+	}
+	select {
+	case o := <-ch:
+		return o
+	case <-time.After(s.cfg.Timeout):
+		return outcome{err: fmt.Errorf("sweep: cell %s timed out after %v", c.Label(), s.cfg.Timeout)}
+	}
+}
+
+// obtain returns the cell's outcome: memo hit, cache hit, or computed now.
+// fromPool marks calls from the Prewarm workers (they update the progress
+// counters); render-pass misses go through with fromPool=false.
+func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
+	key, err := c.Key()
+	if err != nil {
+		return outcome{err: fmt.Errorf("sweep: cell %s: %w", c.Label(), err)}
+	}
+
+	s.mu.Lock()
+	if o, ok := s.memo[key]; ok {
+		s.mu.Unlock()
+		return o
+	}
+	s.mu.Unlock()
+
+	cached := false
+	var o outcome
+	if s.cfg.Cache != nil && s.cfg.Resume {
+		var rec record
+		ok, err := s.cfg.Cache.Get(key, &rec)
+		if err == nil && ok {
+			cached = true
+			switch {
+			case c.Kind == Footprint && rec.Footprint != nil:
+				o = outcome{fp: *rec.Footprint}
+			case c.Kind != Footprint && rec.Result != nil:
+				o = outcome{res: *rec.Result}
+			default:
+				cached = false // wrong shape: treat as corrupt → recompute
+			}
+		}
+	}
+	if !cached {
+		o = s.execCell(c)
+		if o.err == nil && s.cfg.Cache != nil {
+			rec := record{Cell: c}
+			if c.Kind == Footprint {
+				fp := o.fp
+				rec.Footprint = &fp
+			} else {
+				res := o.res
+				rec.Result = &res
+			}
+			// A failed Put (e.g. unencodable value) only costs a
+			// recompute next run; it must not fail the sweep.
+			if err := s.cfg.Cache.Put(key, rec); err != nil {
+				s.progressf("sweep: warning: %v", err)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	s.memo[key] = o
+	if fromPool {
+		s.done++
+		if cached {
+			s.cached++
+		} else {
+			s.computed++
+		}
+		if o.err != nil {
+			s.failed++
+		}
+		s.emitProgressLocked(c, cached)
+	}
+	s.mu.Unlock()
+	return o
+}
+
+// emitProgressLocked prints a live progress/ETA line; callers hold mu. Lines
+// are throttled to one per 250ms, except the final one.
+func (s *Scheduler) emitProgressLocked(c Cell, cached bool) {
+	if s.cfg.Progress == nil {
+		return
+	}
+	now := time.Now()
+	if s.done < s.total && now.Sub(s.lastLine) < 250*time.Millisecond {
+		return
+	}
+	s.lastLine = now
+	line := fmt.Sprintf("sweep %d/%d (%.0f%%)", s.done, s.total,
+		100*float64(s.done)/float64(s.total))
+	if s.cached > 0 {
+		line += fmt.Sprintf(" cached=%d", s.cached)
+	}
+	if s.failed > 0 {
+		line += fmt.Sprintf(" failed=%d", s.failed)
+	}
+	// ETA from the throughput of computed cells only: cache hits are
+	// ~free, so they would skew the estimate to zero.
+	if s.computed > 0 && s.done < s.total {
+		perCell := time.Since(s.start) / time.Duration(s.computed)
+		eta := perCell * time.Duration(s.total-s.done)
+		line += fmt.Sprintf(" eta=%s", eta.Round(time.Second))
+	}
+	line += " last=" + c.Label()
+	if cached {
+		line += " (cached)"
+	}
+	fmt.Fprintln(s.cfg.Progress, line)
+}
+
+func (s *Scheduler) progressf(format string, args ...any) {
+	if s.cfg.Progress != nil {
+		fmt.Fprintf(s.cfg.Progress, format+"\n", args...)
+	}
+}
+
+// Prewarm executes cells through the worker pool, deduplicating by cache
+// key, and memoises every outcome for the render pass. Failed cells are
+// recorded (the render pass surfaces their errors) but do not stop the
+// sweep, so an interrupted or partially failing run still banks every
+// completed cell in the cache.
+func (s *Scheduler) Prewarm(cells []Cell) Summary {
+	unique := make([]Cell, 0, len(cells))
+	seen := map[string]bool{}
+	for _, c := range cells {
+		key, err := c.Key()
+		if err != nil {
+			// Keyless cells cannot be deduplicated or cached; keep
+			// them so the render pass reports the error.
+			unique = append(unique, c)
+			continue
+		}
+		if !seen[key] {
+			seen[key] = true
+			unique = append(unique, c)
+		}
+	}
+
+	s.mu.Lock()
+	s.total = len(unique)
+	s.done, s.computed, s.cached, s.failed = 0, 0, 0, 0
+	s.start = time.Now()
+	s.mu.Unlock()
+
+	jobs := s.cfg.Jobs
+	if jobs > len(unique) {
+		jobs = len(unique)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	ch := make(chan Cell)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range ch {
+				s.obtain(c, true)
+			}
+		}()
+	}
+	for _, c := range unique {
+		ch <- c
+	}
+	close(ch)
+	wg.Wait()
+
+	s.mu.Lock()
+	sum := Summary{
+		Cells:    s.total,
+		Computed: s.computed,
+		Cached:   s.cached,
+		Failed:   s.failed,
+		Elapsed:  time.Since(s.start),
+	}
+	s.mu.Unlock()
+	return sum
+}
+
+// Measure implements harness.Exec.
+func (s *Scheduler) Measure(spec harness.RunSpec, tune bool) (harness.Result, error) {
+	kind := Measure
+	if tune {
+		kind = TuneMeasure
+	}
+	o := s.obtain(Cell{Kind: kind, Spec: spec}, false)
+	return o.res, o.err
+}
+
+// Collect implements trace.Collector.
+func (s *Scheduler) Collect(bench string, k platform.Kind, opts trace.Options) (trace.Footprint, error) {
+	o := s.obtain(Cell{Kind: Footprint, Bench: bench, Platform: k, Scale: opts.Scale, Seed: opts.Seed}, false)
+	return o.fp, o.err
+}

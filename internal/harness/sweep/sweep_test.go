@@ -1,0 +1,306 @@
+package sweep
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"htmcmp/internal/cache"
+	"htmcmp/internal/harness"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+	"htmcmp/internal/trace"
+)
+
+// testCells is a small, fast cell set: 2 benchmarks × 2 platforms at test
+// scale with a single repeat.
+func testCells() []Cell {
+	var cells []Cell
+	for _, bench := range []string{"ssca2", "kmeans-low"} {
+		for _, k := range []platform.Kind{platform.ZEC12, platform.POWER8} {
+			cells = append(cells, Cell{Kind: Measure, Spec: harness.RunSpec{
+				Platform:  k,
+				Benchmark: bench,
+				Threads:   2,
+				Scale:     stamp.ScaleTest,
+				Variant:   stamp.Modified,
+				Seed:      42,
+				Repeats:   1,
+			}})
+		}
+	}
+	return cells
+}
+
+// TestParallelMatchesSerial is the ordering-independence guarantee: a
+// 4-worker pool must produce results equal cell-for-cell to direct serial
+// execution.
+func TestParallelMatchesSerial(t *testing.T) {
+	cells := testCells()
+	want := make([]harness.Result, len(cells))
+	for i, c := range cells {
+		r, err := harness.Run(c.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	s := New(Config{Jobs: 4})
+	sum := s.Prewarm(cells)
+	if sum.Cells != len(cells) || sum.Computed != len(cells) || sum.Failed != 0 {
+		t.Fatalf("summary = %s", sum)
+	}
+	for i, c := range cells {
+		got, err := s.Measure(c.Spec, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("cell %s: parallel result differs from serial\n got %+v\nwant %+v",
+				c.Label(), got, want[i])
+		}
+	}
+}
+
+func TestCacheHitAndCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells()
+
+	s1 := New(Config{Jobs: 2, Cache: store, Resume: true})
+	sum1 := s1.Prewarm(cells)
+	if sum1.Computed != len(cells) || sum1.Cached != 0 {
+		t.Fatalf("cold run summary = %s", sum1)
+	}
+	want, err := s1.Measure(cells[0].Spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm run: every cell must be served from disk.
+	s2 := New(Config{Jobs: 2, Cache: store, Resume: true})
+	sum2 := s2.Prewarm(cells)
+	if sum2.Cached != len(cells) || sum2.Computed != 0 {
+		t.Fatalf("warm run summary = %s", sum2)
+	}
+	if sum2.HitRatio() != 100 {
+		t.Errorf("hit ratio = %.1f, want 100", sum2.HitRatio())
+	}
+	got, err := s2.Measure(cells[0].Spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cached result differs from computed:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Corrupt one record: the next run must recompute exactly that cell
+	// and still converge to the same result.
+	key, err := cells[0].Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path(key), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := New(Config{Jobs: 2, Cache: store, Resume: true})
+	sum3 := s3.Prewarm(cells)
+	if sum3.Computed != 1 || sum3.Cached != len(cells)-1 {
+		t.Fatalf("post-corruption summary = %s", sum3)
+	}
+	got3, err := s3.Measure(cells[0].Spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got3, want) {
+		t.Error("recomputed result differs after corrupt cache entry")
+	}
+}
+
+// TestResumeAfterInterrupt models an interrupted sweep: only a prefix of the
+// cells completed (and was cached); a fresh scheduler finishes the rest,
+// loading the completed ones.
+func TestResumeAfterInterrupt(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells()
+
+	s1 := New(Config{Jobs: 1, Cache: store, Resume: true})
+	if sum := s1.Prewarm(cells[:2]); sum.Computed != 2 {
+		t.Fatalf("partial run summary = %s", sum)
+	}
+
+	s2 := New(Config{Jobs: 2, Cache: store, Resume: true})
+	sum := s2.Prewarm(cells)
+	if sum.Cached != 2 || sum.Computed != len(cells)-2 {
+		t.Fatalf("resume summary = %s, want 2 cached / %d computed", sum, len(cells)-2)
+	}
+}
+
+func TestNoResumeRecomputes(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells()[:1]
+	New(Config{Jobs: 1, Cache: store, Resume: true}).Prewarm(cells)
+
+	s := New(Config{Jobs: 1, Cache: store, Resume: false})
+	if sum := s.Prewarm(cells); sum.Computed != 1 || sum.Cached != 0 {
+		t.Fatalf("no-resume summary = %s, want recompute", sum)
+	}
+}
+
+func TestPrewarmDeduplicates(t *testing.T) {
+	c := testCells()[0]
+	s := New(Config{Jobs: 4})
+	sum := s.Prewarm([]Cell{c, c, c})
+	if sum.Cells != 1 || sum.Computed != 1 {
+		t.Errorf("summary = %s, want 1 unique cell", sum)
+	}
+}
+
+// setRunCellHook installs a cell-execution hook for the duration of a test.
+func setRunCellHook(t *testing.T, f cellRunner) {
+	t.Helper()
+	runCellHook.Store(&f)
+	t.Cleanup(func() { runCellHook.Store(nil) })
+}
+
+func TestPanicRecovery(t *testing.T) {
+	setRunCellHook(t, func(Cell) (harness.Result, trace.Footprint, error) {
+		panic("boom")
+	})
+
+	s := New(Config{Jobs: 2})
+	cells := testCells()
+	sum := s.Prewarm(cells)
+	if sum.Failed != len(cells) {
+		t.Fatalf("summary = %s, want all failed", sum)
+	}
+	_, err := s.Measure(cells[0].Spec, false)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("err = %v, want panic surfaced as error", err)
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	setRunCellHook(t, func(Cell) (harness.Result, trace.Footprint, error) {
+		<-block
+		return harness.Result{}, trace.Footprint{}, nil
+	})
+
+	s := New(Config{Jobs: 1, Timeout: 20 * time.Millisecond})
+	cells := testCells()[:1]
+	sum := s.Prewarm(cells)
+	if sum.Failed != 1 {
+		t.Fatalf("summary = %s, want 1 failed", sum)
+	}
+	_, err := s.Measure(cells[0].Spec, false)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("err = %v, want timeout error", err)
+	}
+}
+
+// TestFootprintCell runs one trace.Collect cell through the scheduler and
+// checks it matches a direct collection.
+func TestFootprintCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("footprint collection in -short mode")
+	}
+	opts := trace.Options{Scale: stamp.ScaleTest, Seed: 42}
+	want, err := trace.Collect("ssca2", platform.ZEC12, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Jobs: 2})
+	cell := Cell{Kind: Footprint, Bench: "ssca2", Platform: platform.ZEC12, Scale: stamp.ScaleTest, Seed: 42}
+	if sum := s.Prewarm([]Cell{cell}); sum.Failed != 0 {
+		t.Fatalf("summary = %s", sum)
+	}
+	got, err := s.Collect("ssca2", platform.ZEC12, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("footprint differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPlanRecordsFig7 checks the planning pass: Fig7 requests 10 RTM cells
+// (one per benchmark) plus 10 HLE cells, with no simulation executed.
+func TestPlanRecordsFig7(t *testing.T) {
+	p := NewPlan()
+	opts := harness.Options{Scale: stamp.ScaleTest, Repeats: 1, Exec: p}
+	if _, err := harness.Fig7(opts); err != nil {
+		t.Fatal(err)
+	}
+	cells := p.Cells()
+	want := 2 * len(stamp.Names())
+	if len(cells) != want {
+		t.Fatalf("plan recorded %d cells, want %d", len(cells), want)
+	}
+	hle := 0
+	for _, c := range cells {
+		if c.Kind != Measure {
+			t.Errorf("cell %s kind = %v, want Measure", c.Label(), c.Kind)
+		}
+		if c.Spec.UseHLE {
+			hle++
+		}
+	}
+	if hle != len(stamp.Names()) {
+		t.Errorf("plan has %d HLE cells, want %d", hle, len(stamp.Names()))
+	}
+}
+
+// TestPlanDeduplicates: Fig2And3 and Fig4 share every modified-variant
+// measurement, so planning both must not duplicate cells.
+func TestPlanDeduplicates(t *testing.T) {
+	p := NewPlan()
+	opts := harness.Options{Scale: stamp.ScaleTest, Repeats: 1, Exec: p}
+	if _, _, err := harness.Fig2And3(opts); err != nil {
+		t.Fatal(err)
+	}
+	n := len(p.Cells())
+	if _, err := harness.Fig4(opts); err != nil {
+		t.Fatal(err)
+	}
+	// Fig4 adds only the Original-variant cells of the 6 changed
+	// benchmarks (4 platforms each).
+	want := n + 6*4
+	if got := len(p.Cells()); got != want {
+		t.Errorf("plan has %d cells after Fig4, want %d", got, want)
+	}
+}
+
+// TestPlanTune records tuned cells distinctly from untuned ones.
+func TestPlanTune(t *testing.T) {
+	p := NewPlan()
+	spec := testCells()[0].Spec
+	if _, err := p.Measure(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Measure(spec, true); err != nil {
+		t.Fatal(err)
+	}
+	cells := p.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("plan has %d cells, want 2 (tuned and untuned are distinct)", len(cells))
+	}
+	k0, _ := cells[0].Key()
+	k1, _ := cells[1].Key()
+	if k0 == k1 {
+		t.Error("tuned and untuned cells share a cache key")
+	}
+}

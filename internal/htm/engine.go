@@ -310,7 +310,9 @@ func (e *Engine) smtDivisor(core int) int {
 	return d
 }
 
-// Stats aggregates the per-thread statistics.
+// Stats aggregates the per-thread statistics. Call it only while the
+// engine's threads are quiescent (per-thread counters are owner-written and
+// unsynchronised); to poll progress while threads run, use Aborts.
 func (e *Engine) Stats() Stats {
 	var total Stats
 	for _, t := range e.threads {
@@ -319,11 +321,23 @@ func (e *Engine) Stats() Stats {
 	return total
 }
 
+// Aborts returns the total abort count across threads. Unlike Stats, it
+// reads a dedicated atomic counter and is safe to call while threads are
+// running, so tests and monitors can poll it concurrently.
+func (e *Engine) Aborts() uint64 {
+	var n uint64
+	for _, t := range e.threads {
+		n += t.abortCount.Load()
+	}
+	return n
+}
+
 // ResetStats zeroes all per-thread statistics. Call between the warm-up and
 // measured phases of an experiment, never while transactions are running.
 func (e *Engine) ResetStats() {
 	for _, t := range e.threads {
 		t.stats = Stats{}
+		t.abortCount.Store(0)
 	}
 }
 

@@ -239,5 +239,5 @@ func (t *Thread) stmStoreBytes(a mem.Addr, n int, v uint64) {
 		mask = ^uint64(0)
 	}
 	old := t.stmLoadWord(word)
-	t.stmStoreWord(word, (old &^ (mask << shift)) | ((v & mask) << shift))
+	t.stmStoreWord(word, (old&^(mask<<shift))|((v&mask)<<shift))
 }

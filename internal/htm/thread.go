@@ -68,25 +68,29 @@ type Thread struct {
 	// reads maps line -> counted; counted=false means the line entered the
 	// read set via the hardware prefetcher (conflict-detectable but not
 	// charged against capacity).
-	reads           map[uint32]bool
-	writes          map[uint32][]byte
-	readOrder       []uint32
-	writeOrder      []uint32
-	readsCounted    int
-	storeSetCnt     map[uint32]int
-	bufPool         [][]byte
-	specID          int
-	pendingAbort    Abort
-	allocs          []mem.Addr
-	frees           []mem.Addr
-	stats           Stats
-	loadCostPerOp   int
-	storeCostPerOp  int
-	beginCost       int
-	commitCost      int
-	abortCost       int
-	prefetchProb    float64
-	cacheFetchProb  float64
+	reads        map[uint32]bool
+	writes       map[uint32][]byte
+	readOrder    []uint32
+	writeOrder   []uint32
+	readsCounted int
+	storeSetCnt  map[uint32]int
+	bufPool      [][]byte
+	specID       int
+	pendingAbort Abort
+	allocs       []mem.Addr
+	frees        []mem.Addr
+	scratch      [8]byte // snapshot buffer for locked shared reads
+	stats        Stats
+	// abortCount mirrors stats.Aborts behind an atomic so Engine.Aborts can
+	// be polled while threads are running (Stats itself is quiescent-only).
+	abortCount     atomic.Uint64
+	loadCostPerOp  int
+	storeCostPerOp int
+	beginCost      int
+	commitCost     int
+	abortCost      int
+	prefetchProb   float64
+	cacheFetchProb float64
 }
 
 func newThread(e *Engine, slot int) *Thread {
@@ -401,6 +405,7 @@ func (t *Thread) rollback() {
 	}
 	t.finishTx()
 	t.stats.Aborts++
+	t.abortCount.Add(1)
 	t.stats.AbortsByReason[t.pendingAbort.Reason]++
 	// Transactionally allocated blocks never became visible; reclaim them.
 	for _, a := range t.allocs {
@@ -765,7 +770,30 @@ func (t *Thread) txLoad(a mem.Addr, n int) []byte {
 		t.resolveAsReader(line, true)
 		t.maybePrefetch(line)
 	}
-	return t.eng.space.Data()[a : a+uint64(n)]
+	return t.readShared(a, n, line)
+}
+
+// readShared returns the bytes at [a, a+n) of committed memory for a
+// transactional load. In virtual mode only one thread runs at a time, so the
+// slice may alias the arena directly. In real-concurrency mode the bytes are
+// snapshotted under the line's shard lock: a doomed-but-not-yet-aware reader
+// may otherwise tear against a committing writer publishing this line (the
+// doomed transaction will abort at its next operation, but Go — unlike the
+// hardware this models — does not tolerate the racy read itself).
+func (t *Thread) readShared(a mem.Addr, n int, line uint32) []byte {
+	data := t.eng.space.Data()
+	if t.eng.sched != nil {
+		return data[a : a+uint64(n)]
+	}
+	out := t.scratch[:]
+	if n > len(out) {
+		out = make([]byte, n)
+	}
+	sh := t.eng.shardOf(line)
+	sh.Lock()
+	copy(out[:n], data[a:a+uint64(n)])
+	sh.Unlock()
+	return out[:n]
 }
 
 // txStore performs a transactional store, returning the buffered slice to
@@ -1127,4 +1155,3 @@ func (t *Thread) Free(a mem.Addr) {
 	}
 	t.eng.space.FreeArena(a, t.slot)
 }
-

@@ -97,9 +97,9 @@ type CostModel struct {
 // Spec is the behavioural model of one processor's HTM implementation.
 // Fields marked (T1) come directly from Table 1 of the paper.
 type Spec struct {
-	Kind  Kind
-	Name  string // full marketing name with core/SMT configuration
-	Freq  string // clock, for Table 1 rendering only
+	Kind Kind
+	Name string // full marketing name with core/SMT configuration
+	Freq string // clock, for Table 1 rendering only
 
 	// Topology.
 	Cores int // physical cores (T1 test machines: 16 / 16 / 4 / 6)
@@ -119,8 +119,8 @@ type Spec struct {
 	// are tracked per cache set and overflowing StoreWays lines in one set
 	// aborts the transaction even below StoreCapacity (Intel's L1-resident
 	// store buffering; Section 2's cache-way-conflict capacity aborts).
-	StoreSets  int
-	StoreWays  int
+	StoreSets int
+	StoreWays int
 
 	// Cache geometry, for Table 1 rendering.
 	L1Desc string
@@ -190,14 +190,14 @@ func New(k Kind) *Spec {
 			Name:  "Blue Gene/Q (16-core A2, SMT4)",
 			Freq:  "1.6 GHz",
 			Cores: 16, SMT: 4,
-			LineSize:         128, // L2 line; worst-case granularity
-			LoadCapacity:     20 << 20 / 16, // 1.25 MB per core of the 20 MB L2 budget
-			StoreCapacity:    20 << 20 / 16,
-			CombinedCapacity: true,
-			L1Desc:           "16 KB, 8-way",
-			L2Desc:           "32 MB, 16-way (shared by 16 cores)",
-			AbortReasonKinds: 0, // not exposed to software
-			SpecIDs:          128,
+			LineSize:          128,           // L2 line; worst-case granularity
+			LoadCapacity:      20 << 20 / 16, // 1.25 MB per core of the 20 MB L2 budget
+			StoreCapacity:     20 << 20 / 16,
+			CombinedCapacity:  true,
+			L1Desc:            "16 KB, 8-way",
+			L2Desc:            "32 MB, 16-way (shared by 16 cores)",
+			AbortReasonKinds:  0, // not exposed to software
+			SpecIDs:           128,
 			SoftwareRetryOnly: true,
 			// High software overhead: register checkpointing, kernel
 			// calls at begin/end, and L2-only loads in short mode.
@@ -255,16 +255,16 @@ func New(k Kind) *Spec {
 			Name:  "POWER8 (6-core, SMT8, pre-release)",
 			Freq:  "4.1 GHz",
 			Cores: 6, SMT: 8,
-			LineSize:         128,
-			LoadCapacity:     8 << 10, // 64-entry L2 TMCAM × 128 B
-			StoreCapacity:    8 << 10,
-			CombinedCapacity: true,
-			L1Desc:           "64 KB",
-			L2Desc:           "512 KB, 8-way",
-			AbortReasonKinds: 11,
+			LineSize:           128,
+			LoadCapacity:       8 << 10, // 64-entry L2 TMCAM × 128 B
+			StoreCapacity:      8 << 10,
+			CombinedCapacity:   true,
+			L1Desc:             "64 KB",
+			L2Desc:             "512 KB, 8-way",
+			AbortReasonKinds:   11,
 			ReportsPersistence: true,
-			HasSuspendResume: true,
-			HasRollbackOnly:  true,
+			HasSuspendResume:   true,
+			HasRollbackOnly:    true,
 			Costs: CostModel{
 				Begin: 14, Commit: 12, Abort: 90, CAS: 28,
 				TxLoad: 0, TxStore: 0,

@@ -4,13 +4,13 @@ import "testing"
 
 func TestTable1Values(t *testing.T) {
 	cases := []struct {
-		kind             Kind
-		line             int
-		loadCap, stoCap  int
-		combined         bool
-		cores, smt       int
-		abortKinds       int
-		reportsPersist   bool
+		kind            Kind
+		line            int
+		loadCap, stoCap int
+		combined        bool
+		cores, smt      int
+		abortKinds      int
+		reportsPersist  bool
 	}{
 		{BlueGeneQ, 128, 20 << 20 / 16, 20 << 20 / 16, true, 16, 4, 0, false},
 		{ZEC12, 256, 1 << 20, 8 << 10, false, 16, 1, 14, true},

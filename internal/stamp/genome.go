@@ -32,20 +32,20 @@ func init() {
 //
 // Segment-record layout: [strAddr][next][linked][prefixHash][suffixHash].
 type genome struct {
-	cfg     Config
-	geneLen int
-	segLen  int
-	stride  int
+	cfg       Config
+	geneLen   int
+	segLen    int
+	stride    int
 	dupFactor int
-	chunk   int // CHUNK_STEP_1
+	chunk     int // CHUNK_STEP_1
 
-	gene     []byte
-	segs     []mem.Addr // all segment strings (with duplicates)
-	uniqSet  txds.Hashtable
-	starts   txds.Hashtable
-	records  []mem.Addr // unique segment records (built between phases)
-	result   []byte     // phase-3 reconstruction
-	units    int
+	gene    []byte
+	segs    []mem.Addr // all segment strings (with duplicates)
+	uniqSet txds.Hashtable
+	starts  txds.Hashtable
+	records []mem.Addr // unique segment records (built between phases)
+	result  []byte     // phase-3 reconstruction
+	units   int
 }
 
 const (

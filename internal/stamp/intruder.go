@@ -32,17 +32,17 @@ const attackSig = "ATTACKSIG"
 // Packet record layout: [flowId][fragId][numFrags][lenBytes][dataAddr].
 // Flow-state record: [received][numFrags][collectionHandle].
 type intruder struct {
-	cfg    Config
-	nFlows int
+	cfg        Config
+	nFlows     int
 	maxFragLen int
 
 	queue    txds.Queue
 	decoder  dict
 	nAttacks int // injected ground truth
 
-	found   atomic.Int64
-	done    atomic.Int64
-	units   int
+	found     atomic.Int64
+	done      atomic.Int64
+	units     int
 	fragTotal int
 }
 

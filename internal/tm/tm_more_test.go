@@ -55,7 +55,7 @@ func TestLazySubscriptionDefersLockCheck(t *testing.T) {
 	// Wait until the lazy end-of-transaction check has aborted the
 	// attempt before releasing, otherwise the check races the release
 	// and sees a free lock.
-	waitFor(t, func() bool { return e.Stats().Aborts >= 1 })
+	waitFor(t, func() bool { return e.Aborts() >= 1 })
 	lock.Release(t1)
 	wg.Wait()
 	if x.Stats.Commits() != 1 {
@@ -123,7 +123,7 @@ func TestCategoryReclassification(t *testing.T) {
 	close(locked)
 	// The classification must run while the lock is still held (the paper
 	// notes a too-early release is misclassified as a data conflict).
-	waitFor(t, func() bool { return e.Stats().Aborts >= 1 })
+	waitFor(t, func() bool { return e.Aborts() >= 1 })
 	lock.Release(t0)
 	<-done
 	if x.Stats.AbortsByCategory[htm.CategoryLockConflict] == 0 {

@@ -38,10 +38,22 @@ type Footprint struct {
 	ExceedsStoreCap bool
 }
 
+// Collector abstracts how footprint collections are executed. CollectAll
+// requests every (benchmark, platform) pair through it, which lets a sweep
+// scheduler record the pairs as cells and later serve them from a
+// concurrently precomputed, cached result set. A nil Collector collects
+// inline via Collect.
+type Collector interface {
+	Collect(bench string, k platform.Kind, opts Options) (Footprint, error)
+}
+
 // Options configure a trace collection.
 type Options struct {
 	Scale stamp.Scale
 	Seed  uint64
+	// Exec, when non-nil, executes collections (sweep scheduling /
+	// caching); nil collects inline.
+	Exec Collector `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -110,12 +122,20 @@ func Collect(bench string, k platform.Kind, opts Options) (Footprint, error) {
 
 // CollectAll gathers footprints for every benchmark × platform pair
 // (Figures 10 and 11 use all pairs except bayes, which the paper drops from
-// analysis; it is included here and callers may filter).
+// analysis; it is included here and callers may filter). Options are
+// normalised before dispatch so that an Exec sees canonical cell inputs.
 func CollectAll(opts Options) ([]Footprint, error) {
+	opts = opts.withDefaults()
 	var out []Footprint
 	for _, bench := range stamp.Names() {
 		for _, k := range platform.Kinds() {
-			fp, err := Collect(bench, k, opts)
+			var fp Footprint
+			var err error
+			if opts.Exec != nil {
+				fp, err = opts.Exec.Collect(bench, k, opts)
+			} else {
+				fp, err = Collect(bench, k, opts)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -53,3 +53,37 @@ func TestCollectRejectsUnknownBenchmark(t *testing.T) {
 		t.Error("unknown benchmark did not error")
 	}
 }
+
+// recordingCollector counts dispatched pairs without simulating anything.
+type recordingCollector struct {
+	calls []string
+	opts  []Options
+}
+
+func (r *recordingCollector) Collect(bench string, k platform.Kind, opts Options) (Footprint, error) {
+	r.calls = append(r.calls, bench+"/"+k.Short())
+	r.opts = append(r.opts, opts)
+	return Footprint{Benchmark: bench, Platform: k}, nil
+}
+
+func TestCollectAllDispatchesThroughExec(t *testing.T) {
+	rec := &recordingCollector{}
+	fps, err := CollectAll(Options{Exec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(stamp.Names()) * len(platform.Kinds())
+	if len(rec.calls) != want || len(fps) != want {
+		t.Fatalf("dispatched %d pairs, returned %d, want %d", len(rec.calls), len(fps), want)
+	}
+	// Options must reach the Collector normalised, so a sweep scheduler
+	// derives canonical cache keys from them.
+	for _, o := range rec.opts {
+		if o.Seed == 0 || o.Scale == 0 {
+			t.Fatalf("Collector saw unnormalised options %+v", o)
+		}
+	}
+	if fps[0].Benchmark != stamp.Names()[0] {
+		t.Errorf("results out of order: first is %s", fps[0].Benchmark)
+	}
+}

@@ -14,9 +14,9 @@ import (
 type List struct{ base mem.Addr }
 
 const (
-	listNext = 0
-	listKey  = 1
-	listVal  = 2
+	listNext      = 0
+	listKey       = 1
+	listVal       = 2
 	listNodeWords = 3
 )
 

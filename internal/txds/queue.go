@@ -63,7 +63,7 @@ func (q Queue) Len(t *htm.Thread) int {
 	pop := loadField(t, q.base, qPop)
 	push := loadField(t, q.base, qPush)
 	cap := loadField(t, q.base, qCapacity)
-	return int((push + cap - (pop + 1) % cap) % cap)
+	return int((push + cap - (pop+1)%cap) % cap)
 }
 
 // Push appends v, doubling the backing array when full (STAMP's

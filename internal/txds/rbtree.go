@@ -22,12 +22,12 @@ import (
 type RBTree struct{ base mem.Addr }
 
 const (
-	rbKey    = 0
-	rbVal    = 1
-	rbLeft   = 2
-	rbRight  = 3
-	rbParent = 4
-	rbColor  = 5
+	rbKey       = 0
+	rbVal       = 1
+	rbLeft      = 2
+	rbRight     = 3
+	rbParent    = 4
+	rbColor     = 5
 	rbNodeWords = 6
 
 	rbHdrRoot     = 0
@@ -59,18 +59,18 @@ func (r RBTree) Handle() mem.Addr { return r.base }
 // RBTreeAt reinterprets a stored handle as an RBTree.
 func RBTreeAt(a mem.Addr) RBTree { return RBTree{base: a} }
 
-func (r RBTree) root(t *htm.Thread) mem.Addr     { return loadField(t, r.base, rbHdrRoot) }
+func (r RBTree) root(t *htm.Thread) mem.Addr       { return loadField(t, r.base, rbHdrRoot) }
 func (r RBTree) setRoot(t *htm.Thread, n mem.Addr) { storeField(t, r.base, rbHdrRoot, n) }
-func (r RBTree) nilN(t *htm.Thread) mem.Addr     { return loadField(t, r.base, rbHdrSentinel) }
+func (r RBTree) nilN(t *htm.Thread) mem.Addr       { return loadField(t, r.base, rbHdrSentinel) }
 
-func key(t *htm.Thread, n mem.Addr) int64        { return int64(loadField(t, n, rbKey)) }
-func left(t *htm.Thread, n mem.Addr) mem.Addr    { return loadField(t, n, rbLeft) }
-func right(t *htm.Thread, n mem.Addr) mem.Addr   { return loadField(t, n, rbRight) }
-func parent(t *htm.Thread, n mem.Addr) mem.Addr  { return loadField(t, n, rbParent) }
-func color(t *htm.Thread, n mem.Addr) uint64     { return loadField(t, n, rbColor) }
-func setLeft(t *htm.Thread, n, v mem.Addr)       { storeField(t, n, rbLeft, v) }
-func setRight(t *htm.Thread, n, v mem.Addr)      { storeField(t, n, rbRight, v) }
-func setParent(t *htm.Thread, n, v mem.Addr)     { storeField(t, n, rbParent, v) }
+func key(t *htm.Thread, n mem.Addr) int64          { return int64(loadField(t, n, rbKey)) }
+func left(t *htm.Thread, n mem.Addr) mem.Addr      { return loadField(t, n, rbLeft) }
+func right(t *htm.Thread, n mem.Addr) mem.Addr     { return loadField(t, n, rbRight) }
+func parent(t *htm.Thread, n mem.Addr) mem.Addr    { return loadField(t, n, rbParent) }
+func color(t *htm.Thread, n mem.Addr) uint64       { return loadField(t, n, rbColor) }
+func setLeft(t *htm.Thread, n, v mem.Addr)         { storeField(t, n, rbLeft, v) }
+func setRight(t *htm.Thread, n, v mem.Addr)        { storeField(t, n, rbRight, v) }
+func setParent(t *htm.Thread, n, v mem.Addr)       { storeField(t, n, rbParent, v) }
 func setColor(t *htm.Thread, n mem.Addr, c uint64) { storeField(t, n, rbColor, c) }
 
 func (r RBTree) leftRotate(t *htm.Thread, x mem.Addr) {
