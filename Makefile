@@ -6,7 +6,7 @@ BIN     := bin
 SMOKE   := /tmp/htmcmp-smoke
 JOBS    ?= 4
 
-.PHONY: build test race lint bench-smoke clean
+.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,36 @@ bench-smoke: build
 	grep -q ' computed=0 ' $(SMOKE)/run2.log || { \
 		echo "second run recomputed cells:"; cat $(SMOKE)/run2.log; exit 1; }
 	@echo "bench-smoke ok: warm-cache run skipped 100% of cells, tables byte-identical"
+
+# bench-hotpath measures the engine hot-path microbenchmarks (see
+# internal/htm/hotpath_bench_test.go) and rewrites BENCH_hotpath.json. When
+# the file already exists its current numbers are carried forward as the
+# baseline, so the JSON records the before/after comparison.
+bench-hotpath:
+	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '^BenchmarkHotpath' -benchmem \
+		-count=1 ./internal/htm | tee /tmp/htmcmp-bench-hotpath.txt
+	@if [ -f BENCH_hotpath.json ]; then \
+		./$(BIN)/benchjson -baseline BENCH_hotpath.json -label "$$(git rev-parse --short HEAD 2>/dev/null || echo local)" \
+			-o BENCH_hotpath.json </tmp/htmcmp-bench-hotpath.txt; \
+	else \
+		./$(BIN)/benchjson -label "$$(git rev-parse --short HEAD 2>/dev/null || echo local)" \
+			-o BENCH_hotpath.json </tmp/htmcmp-bench-hotpath.txt; \
+	fi
+	@echo "bench-hotpath: wrote BENCH_hotpath.json"
+
+# bench-hotpath-smoke is the CI gate: every microbenchmark must execute
+# (one iteration) without failing; the parsed JSON is left in $(SMOKE) for
+# artifact upload. Numbers from a 1x run are not meaningful and are not
+# compared against anything.
+bench-hotpath-smoke:
+	mkdir -p $(SMOKE)
+	$(GO) build -o $(BIN)/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '^BenchmarkHotpath' -benchtime=1x \
+		-count=1 ./internal/htm | tee $(SMOKE)/bench-hotpath.txt
+	./$(BIN)/benchjson -label smoke-1x -o $(SMOKE)/BENCH_hotpath.json \
+		<$(SMOKE)/bench-hotpath.txt
+	@echo "bench-hotpath-smoke ok"
 
 clean:
 	rm -rf $(BIN) $(SMOKE) .htmcache

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document so the hot-path microbenchmark trajectory can be recorded PR over
+// PR (BENCH_hotpath.json) and uploaded as a CI artifact.
+//
+// Usage:
+//
+//	go test -bench '^BenchmarkHotpath' -run '^$' ./internal/htm | benchjson \
+//	    [-baseline BENCH_hotpath.json] [-label after] [-o BENCH_hotpath.json]
+//
+// The input is the standard benchmark text format:
+//
+//	BenchmarkHotpathTxLoad8-8   7207948   166.1 ns/op   0 B/op   0 allocs/op
+//
+// With -baseline, the previous document's "current" section is preserved
+// under "baseline" and a speedup ratio (baseline ns / current ns) is emitted
+// per benchmark, so the JSON itself records the before/after comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Label    string             `json:"label,omitempty"`
+	Goos     string             `json:"goos,omitempty"`
+	Goarch   string             `json:"goarch,omitempty"`
+	Pkg      string             `json:"pkg,omitempty"`
+	Current  []Result           `json:"current"`
+	Baseline []Result           `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8  N  12.3 ns/op [B B/op] [A allocs/op]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)\s+ns/op(?:\s+(\d+)\s+B/op)?(?:\s+(\d+)\s+allocs/op)?`)
+
+func parse(sc *bufio.Scanner, doc *Doc) error {
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("bad ns/op on %q: %v", line, err)
+		}
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		doc.Current = append(doc.Current, r)
+	}
+	return sc.Err()
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "previous benchjson output; its current section becomes this document's baseline")
+	label := flag.String("label", "", "free-form label recorded in the document")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{Label: *label}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if err := parse(sc, &doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var prev Doc
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		doc.Baseline = prev.Current
+		doc.Speedup = map[string]float64{}
+		base := map[string]float64{}
+		for _, r := range prev.Current {
+			base[r.Name] = r.NsPerOp
+		}
+		for _, r := range doc.Current {
+			if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
+				// Round to 0.01x: these are host-side numbers, two decimal
+				// places is already more precision than they repeat to.
+				doc.Speedup[r.Name] = float64(int(b/r.NsPerOp*100+0.5)) / 100
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: htmcmp/internal/htm
+BenchmarkHotpathTxLoad8-8   	 7207948	       166.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotpathCommit-8    	 1000000	      1179 ns/op
+not a benchmark line
+BenchmarkHotpathSweepSmall-8	      12	  92578000 ns/op
+PASS
+ok  	htmcmp/internal/htm	42.0s
+`
+	var doc Doc
+	if err := parse(bufio.NewScanner(strings.NewReader(in)), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "htmcmp/internal/htm" {
+		t.Fatalf("header = %q %q %q", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if len(doc.Current) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(doc.Current))
+	}
+	r := doc.Current[0]
+	if r.Name != "BenchmarkHotpathTxLoad8" || r.Iterations != 7207948 || r.NsPerOp != 166.1 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("mem stats = %d B/op %d allocs/op", r.BytesPerOp, r.AllocsPerOp)
+	}
+	if doc.Current[2].NsPerOp != 92578000 {
+		t.Fatalf("sweep ns/op = %v", doc.Current[2].NsPerOp)
+	}
+}
+
+func TestParseKeepsSubBenchmarkNames(t *testing.T) {
+	in := "BenchmarkX/sub-case-16  100  5.0 ns/op\n"
+	var doc Doc
+	if err := parse(bufio.NewScanner(strings.NewReader(in)), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Current) != 1 || doc.Current[0].Name != "BenchmarkX/sub-case" {
+		t.Fatalf("results = %+v", doc.Current)
+	}
+}

@@ -1,0 +1,203 @@
+package htm
+
+// Map-free transactional access sets.
+//
+// The per-access hot path of the engine used to pay three Go map operations
+// per transactional load/store (read-set lookup, write-set lookup, Intel's
+// store-set way counter). Figure 10/11 of the paper show that the
+// overwhelming majority of STAMP transactions touch at most a handful of
+// conflict-detection lines, so the sets are now accessTab: a fixed
+// 8-entry linearly-scanned array for the common case, spilling into an
+// open-addressed power-of-two table (linear probing) when a transaction
+// grows past it. Every slot carries an epoch stamp and reset() just bumps
+// the epoch, so clearing the set at commit/rollback is O(1) regardless of
+// how large the table has grown — the same trick hardware uses when it
+// flash-clears tx-read/tx-dirty bits.
+//
+// Iteration order is never taken from the table: the engine keeps explicit
+// readOrder/writeOrder append logs, so results cannot depend on hash
+// layout. All operations are single-threaded per Thread (the sets are
+// thread-private), hence no synchronisation.
+
+const (
+	// fastSetCap is the linear-scan fast-path capacity in entries. Figure 10
+	// shows most STAMP transactions fit well within 8 distinct lines.
+	fastSetCap = 8
+	// minTabSlots is the initial open-addressed table size (power of two).
+	minTabSlots = 64
+)
+
+// tabKey is the key domain: conflict-detection lines (uint32) or simulated
+// word addresses (uint64, the STM write buffer).
+type tabKey interface{ ~uint32 | ~uint64 }
+
+type tabSlot[K tabKey, V any] struct {
+	key  K
+	used uint64 // epoch stamp; live iff == accessTab.epoch
+	val  V
+}
+
+// accessTab maps keys to values with an O(1) epoch-based reset. The zero
+// value is NOT ready; call init first (epoch must start nonzero so that
+// freshly allocated slots, whose stamp is zero, read as empty).
+type accessTab[K tabKey, V any] struct {
+	fastKeys [fastSetCap]K
+	fastVals [fastSetCap]V
+	fastN    int
+	spilled  bool // this epoch outgrew the fast path; use slots
+	n        int  // live slot entries (valid when spilled)
+	epoch    uint64
+	slots    []tabSlot[K, V]
+	mask     uint32
+}
+
+func (t *accessTab[K, V]) init() { t.epoch = 1 }
+
+// reset empties the set in O(1): the epoch bump invalidates every table
+// slot at once and the fast-path cursor rewinds.
+func (t *accessTab[K, V]) reset() {
+	t.fastN = 0
+	t.spilled = false
+	t.n = 0
+	t.epoch++
+}
+
+// size returns the number of live entries.
+func (t *accessTab[K, V]) size() int {
+	if t.spilled {
+		return t.n
+	}
+	return t.fastN
+}
+
+func (t *accessTab[K, V]) hash(k K) uint32 {
+	// Fibonacci hashing; lines are sequential so the multiply spreads them.
+	return uint32((uint64(k)*0x9E3779B97F4A7C15)>>32) & t.mask
+}
+
+// get returns the value stored under k.
+func (t *accessTab[K, V]) get(k K) (V, bool) {
+	if !t.spilled {
+		for i := 0; i < t.fastN; i++ {
+			if t.fastKeys[i] == k {
+				return t.fastVals[i], true
+			}
+		}
+		var zero V
+		return zero, false
+	}
+	for idx := t.hash(k); ; idx = (idx + 1) & t.mask {
+		s := &t.slots[idx]
+		if s.used != t.epoch {
+			var zero V
+			return zero, false
+		}
+		if s.key == k {
+			return s.val, true
+		}
+	}
+}
+
+// has reports whether k is in the set.
+func (t *accessTab[K, V]) has(k K) bool {
+	_, ok := t.get(k)
+	return ok
+}
+
+// put inserts k=v, overwriting any existing entry.
+func (t *accessTab[K, V]) put(k K, v V) {
+	if !t.spilled {
+		for i := 0; i < t.fastN; i++ {
+			if t.fastKeys[i] == k {
+				t.fastVals[i] = v
+				return
+			}
+		}
+		if t.fastN < fastSetCap {
+			t.fastKeys[t.fastN] = k
+			t.fastVals[t.fastN] = v
+			t.fastN++
+			return
+		}
+		t.spill()
+	}
+	t.putSlow(k, v)
+}
+
+// spill migrates the fast-path entries into the open-addressed table; the
+// transaction has outgrown the linear scan.
+func (t *accessTab[K, V]) spill() {
+	if t.slots == nil {
+		t.slots = make([]tabSlot[K, V], minTabSlots)
+		t.mask = minTabSlots - 1
+	}
+	t.spilled = true
+	t.n = 0
+	for i := 0; i < t.fastN; i++ {
+		t.putSlow(t.fastKeys[i], t.fastVals[i])
+	}
+}
+
+func (t *accessTab[K, V]) putSlow(k K, v V) {
+	if (t.n+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	for idx := t.hash(k); ; idx = (idx + 1) & t.mask {
+		s := &t.slots[idx]
+		if s.used != t.epoch {
+			s.key, s.val, s.used = k, v, t.epoch
+			t.n++
+			return
+		}
+		if s.key == k {
+			s.val = v
+			return
+		}
+	}
+}
+
+// grow doubles the table, rehashing only the current epoch's live entries
+// (stale slots from earlier transactions are dropped for free).
+func (t *accessTab[K, V]) grow() {
+	old := t.slots
+	t.slots = make([]tabSlot[K, V], 2*len(old))
+	t.mask = uint32(len(t.slots) - 1)
+	t.n = 0
+	for i := range old {
+		if old[i].used == t.epoch {
+			t.putSlow(old[i].key, old[i].val)
+		}
+	}
+}
+
+// wayCounter tracks per-cache-set store-buffer occupancy for Intel's
+// set-associativity overflow model: a dense count per set with the same
+// epoch-stamp trick, so reset is O(1) instead of clearing a map.
+type wayCounter struct {
+	cnt   []int32
+	stamp []uint64
+	epoch uint64
+}
+
+func (w *wayCounter) init(sets int) {
+	w.cnt = make([]int32, sets)
+	w.stamp = make([]uint64, sets)
+	w.epoch = 1
+}
+
+func (w *wayCounter) reset() { w.epoch++ }
+
+func (w *wayCounter) get(set uint32) int {
+	if w.stamp[set] != w.epoch {
+		return 0
+	}
+	return int(w.cnt[set])
+}
+
+func (w *wayCounter) incr(set uint32) {
+	if w.stamp[set] != w.epoch {
+		w.stamp[set] = w.epoch
+		w.cnt[set] = 0
+	}
+	w.cnt[set]++
+}

@@ -238,7 +238,7 @@ func New(spec *platform.Spec, cfg Config) *Engine {
 	e.loadCapLines = spec.LoadCapacity / e.lineSize
 	e.storeCapLines = spec.StoreCapacity / e.lineSize
 	if cfg.Virtual {
-		e.sched = newVsched(cfg.Quantum)
+		e.sched = newVsched(cfg.Quantum, cfg.Threads)
 	}
 	e.threads = make([]*Thread, cfg.Threads)
 	for i := range e.threads {

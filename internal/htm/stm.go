@@ -43,13 +43,16 @@ type stmEntry struct {
 	val  uint64
 }
 
-// stmState is the per-thread NOrec context (embedded in Thread).
+// stmState is the per-thread NOrec context (embedded in Thread). The write
+// buffer is an accessTab (word-aligned address -> value) so clearing it at
+// begin is an O(1) epoch bump rather than a map sweep; write-back order is
+// kept in the explicit order log, never taken from the table.
 type stmState struct {
 	active   bool
 	snapshot uint64
 	readLog  []stmEntry
-	writes   map[mem.Addr]uint64 // word-aligned address -> value
-	order    []mem.Addr          // write-back order
+	writes   accessTab[mem.Addr, uint64]
+	order    []mem.Addr // write-back order
 }
 
 // InSTM reports whether a software transaction is active on this thread.
@@ -81,15 +84,10 @@ func (t *Thread) TrySTM(fn func()) (committed bool, abort Abort) {
 }
 
 func (t *Thread) stmBegin() {
-	if t.stm.writes == nil {
-		t.stm.writes = make(map[mem.Addr]uint64, 32)
-	}
 	t.stm.active = true
 	t.stm.readLog = t.stm.readLog[:0]
 	t.stm.order = t.stm.order[:0]
-	for a := range t.stm.writes {
-		delete(t.stm.writes, a)
-	}
+	t.stm.writes.reset()
 	t.pendingAbort = Abort{}
 	t.stats.Begins++
 	t.work(t.eng.scaledCost(stmBeginCost))
@@ -142,7 +140,7 @@ func (t *Thread) stmValidate() {
 
 // stmLoadWord performs a NOrec transactional load of the aligned word at a.
 func (t *Thread) stmLoadWord(a mem.Addr) uint64 {
-	if v, ok := t.stm.writes[a]; ok {
+	if v, ok := t.stm.writes.get(a); ok {
 		return v
 	}
 	t.work(t.eng.scaledCost(stmLoadCost))
@@ -163,10 +161,10 @@ func (t *Thread) stmStoreWord(a mem.Addr, v uint64) {
 	t.work(t.eng.scaledCost(stmStoreCost))
 	t.maybeYield()
 	t.stats.TxStores++
-	if _, ok := t.stm.writes[a]; !ok {
+	if !t.stm.writes.has(a) {
 		t.stm.order = append(t.stm.order, a)
 	}
-	t.stm.writes[a] = v
+	t.stm.writes.put(a, v)
 }
 
 func (t *Thread) stmCommit() {
@@ -189,7 +187,8 @@ func (t *Thread) stmCommit() {
 	// the critical section stays short (as a real NOrec's would).
 	data := t.eng.space.Data()
 	for _, a := range st.order {
-		binary.LittleEndian.PutUint64(data[a:], st.writes[a])
+		v, _ := st.writes.get(a)
+		binary.LittleEndian.PutUint64(data[a:], v)
 	}
 	t.work(t.eng.scaledCost(stmCommitCost) + len(st.order))
 	t.eng.stmSeq.Store(st.snapshot + 2)

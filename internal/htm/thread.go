@@ -52,11 +52,18 @@ type Thread struct {
 	status     atomic.Int32
 	doomReason atomic.Int32
 
-	// Virtual-time scheduling state.
-	vclock        uint64
-	gate          chan struct{}
-	entered       bool
-	opsSinceYield int
+	// Virtual-time scheduling state. virtual caches eng.sched != nil: under
+	// the virtual scheduler exactly one thread runs at a time (the baton
+	// holder), which is also the single-runner invariant that lets every
+	// line-table access skip its shard lock (see lockLine). yieldBudget
+	// counts accesses down to the next voluntary yield so the per-access
+	// check is one decrement and one branch.
+	vclock      uint64
+	gate        chan struct{}
+	entered     bool
+	virtual     bool
+	yieldBudget int
+	quantum     int
 
 	inTx        bool
 	stm         stmState // NOrec software-transaction context (stm.go)
@@ -65,15 +72,17 @@ type Thread struct {
 	suspendCnt  int  // POWER8 suspend/resume depth
 	accessCount int  // constrained-tx instruction budget
 
-	// reads maps line -> counted; counted=false means the line entered the
+	// rs maps line -> counted; counted=false means the line entered the
 	// read set via the hardware prefetcher (conflict-detectable but not
-	// charged against capacity).
-	reads        map[uint32]bool
-	writes       map[uint32][]byte
+	// charged against capacity). ws maps line -> buffered line copy. Both
+	// are open-addressed epoch-reset tables (accessset.go); iteration goes
+	// through readOrder/writeOrder, never the tables.
+	rs           accessTab[uint32, bool]
+	ws           accessTab[uint32, []byte]
 	readOrder    []uint32
 	writeOrder   []uint32
 	readsCounted int
-	storeSetCnt  map[uint32]int
+	waysets      wayCounter
 	bufPool      [][]byte
 	specID       int
 	pendingAbort Abort
@@ -95,15 +104,23 @@ type Thread struct {
 
 func newThread(e *Engine, slot int) *Thread {
 	t := &Thread{
-		eng:         e,
-		slot:        slot,
-		core:        e.plat.CoreOf(slot),
-		rng:         e.rngFor(slot),
-		gate:        make(chan struct{}, 1),
-		reads:       make(map[uint32]bool, 64),
-		writes:      make(map[uint32][]byte, 32),
-		storeSetCnt: make(map[uint32]int, 16),
-		specID:      -1,
+		eng:     e,
+		slot:    slot,
+		core:    e.plat.CoreOf(slot),
+		rng:     e.rngFor(slot),
+		gate:    make(chan struct{}, 1),
+		virtual: e.sched != nil,
+		specID:  -1,
+	}
+	t.rs.init()
+	t.ws.init()
+	t.stm.writes.init()
+	if e.plat.StoreSets > 0 {
+		t.waysets.init(e.plat.StoreSets)
+	}
+	if t.virtual {
+		t.quantum = e.sched.quantum
+		t.yieldBudget = t.quantum
 	}
 	c := e.plat.Costs
 	t.beginCost = e.scaledCost(c.Begin)
@@ -150,7 +167,7 @@ func (t *Thread) Clock() uint64 { return t.vclock }
 // conflict-detection lines (reads excluding prefetches, writes). Outside a
 // transaction both are zero. Intended for analysis tooling.
 func (t *Thread) FootprintLines() (readLines, writeLines int) {
-	return t.readsCounted, len(t.writes)
+	return t.readsCounted, t.ws.size()
 }
 
 // ---------------------------------------------------------------------------
@@ -186,24 +203,25 @@ func (t *Thread) ExitWork() {
 // work charges n cost units of virtual time (or burns real CPU in
 // real-concurrency mode) without a yield point.
 func (t *Thread) work(n int) {
-	if n <= 0 {
-		return
-	}
-	if t.eng.sched != nil {
-		t.vclock += uint64(n)
+	if t.virtual {
+		if n > 0 {
+			t.vclock += uint64(n)
+		}
 		return
 	}
 	spin(n)
 }
 
-// maybeYield is a voluntary scheduling point (no Go locks may be held).
+// maybeYield is a voluntary scheduling point (no Go locks may be held). The
+// between-yield cost is one decrement and one branch; the scheduler is only
+// consulted when the budget runs out.
 func (t *Thread) maybeYield() {
-	if t.eng.sched == nil || !t.entered {
+	if !t.virtual || !t.entered {
 		return
 	}
-	t.opsSinceYield++
-	if t.opsSinceYield >= t.eng.sched.quantum {
-		t.opsSinceYield = 0
+	t.yieldBudget--
+	if t.yieldBudget <= 0 {
+		t.yieldBudget = t.quantum
 		t.eng.sched.yield(t)
 	}
 }
@@ -240,9 +258,9 @@ func (t *Thread) Work(n int) {
 // thread — the spin-wait primitive for lock waits and TLS ordering waits.
 func (t *Thread) Pause(n int) {
 	t.work(n)
-	if t.eng.sched != nil {
+	if t.virtual {
 		if t.entered {
-			t.opsSinceYield = 0
+			t.yieldBudget = t.quantum
 			t.eng.sched.yield(t)
 		}
 		return
@@ -337,36 +355,38 @@ func (t *Thread) commit() {
 		// Doomed between the last access and commit.
 		t.abortNow(Reason(t.doomReason.Load()), false)
 	}
-	// Publish written lines one at a time under their shard locks. Eager
+	// Publish written lines one at a time under their shard locks (elided
+	// in virtual mode: only the baton holder touches the line table). Eager
 	// dooming guarantees no live transaction still holds any of these
 	// lines, and new requesters see us as a committing writer and abort
 	// themselves, so per-line publication is globally safe.
 	data := t.eng.space.Data()
 	for _, line := range t.writeOrder {
-		sh := t.eng.shardOf(line)
-		sh.Lock()
+		buf, _ := t.ws.get(line)
+		sh := t.lockLine(line)
 		base := uint64(line) << t.eng.lineShift
 		end := base + uint64(t.eng.lineSize)
 		if end > uint64(len(data)) {
 			end = uint64(len(data))
 		}
-		copy(data[base:end], t.writes[line])
+		copy(data[base:end], buf)
 		rec := &t.eng.lines[line]
 		rec.writer = -1
 		rec.clearReader(t.slot)
-		sh.Unlock()
+		unlockLine(sh)
+		// The buffer's contents are published; recycle it.
+		t.bufPool = append(t.bufPool, buf)
 	}
 	for _, line := range t.readOrder {
-		if _, written := t.writes[line]; written {
+		if t.ws.has(line) {
 			continue // released above
 		}
-		sh := t.eng.shardOf(line)
-		sh.Lock()
+		sh := t.lockLine(line)
 		t.eng.lines[line].clearReader(t.slot)
-		sh.Unlock()
+		unlockLine(sh)
 	}
 	if s := t.eng.cfg.FootprintSampler; s != nil {
-		s(t.readsCounted, len(t.writes))
+		s(t.readsCounted, t.ws.size())
 	}
 	t.finishTx()
 	t.stats.Commits++
@@ -384,24 +404,23 @@ func (t *Thread) commit() {
 // rollback discards buffered state after an abort.
 func (t *Thread) rollback() {
 	for _, line := range t.writeOrder {
-		sh := t.eng.shardOf(line)
-		sh.Lock()
+		buf, _ := t.ws.get(line)
+		sh := t.lockLine(line)
 		rec := &t.eng.lines[line]
 		if rec.writer == int32(t.slot) {
 			rec.writer = -1
 		}
 		rec.clearReader(t.slot)
-		sh.Unlock()
-		t.bufPool = append(t.bufPool, t.writes[line])
+		unlockLine(sh)
+		t.bufPool = append(t.bufPool, buf)
 	}
 	for _, line := range t.readOrder {
-		if _, written := t.writes[line]; written {
+		if t.ws.has(line) {
 			continue
 		}
-		sh := t.eng.shardOf(line)
-		sh.Lock()
+		sh := t.lockLine(line)
 		t.eng.lines[line].clearReader(t.slot)
-		sh.Unlock()
+		unlockLine(sh)
 	}
 	t.finishTx()
 	t.stats.Aborts++
@@ -420,21 +439,15 @@ func (t *Thread) rollback() {
 // finishTx clears the per-transaction tracking state common to commit and
 // rollback and releases SMT/spec-ID resources.
 func (t *Thread) finishTx() {
-	if n := len(t.reads); n > t.stats.MaxReadLines {
+	if n := t.rs.size(); n > t.stats.MaxReadLines {
 		t.stats.MaxReadLines = n
 	}
-	if n := len(t.writes); n > t.stats.MaxWriteLines {
+	if n := t.ws.size(); n > t.stats.MaxWriteLines {
 		t.stats.MaxWriteLines = n
 	}
-	for line := range t.reads {
-		delete(t.reads, line)
-	}
-	for line := range t.writes {
-		delete(t.writes, line)
-	}
-	for s := range t.storeSetCnt {
-		delete(t.storeSetCnt, s)
-	}
+	t.rs.reset()
+	t.ws.reset()
+	t.waysets.reset()
 	t.readOrder = t.readOrder[:0]
 	t.writeOrder = t.writeOrder[:0]
 	t.readsCounted = 0
@@ -529,27 +542,48 @@ func (t *Thread) Suspended() bool { return t.inTx && t.suspendCnt > 0 }
 // ---------------------------------------------------------------------------
 // Line registration and conflict resolution
 
+// lockLine acquires the shard lock guarding line in real-concurrency mode
+// and returns it for unlockLine. In virtual mode it returns nil without
+// locking: the baton holder is the only runner, every scheduling point
+// (maybeYield/Pause) sits outside the line-table critical sections, and so
+// the single-runner invariant makes the table race-free by construction.
+// Real-concurrency mode keeps the sharded locks and runs under -race in CI.
+func (t *Thread) lockLine(line uint32) *padMutex {
+	if t.virtual {
+		return nil
+	}
+	sh := t.eng.shardOf(line)
+	sh.Lock()
+	return sh
+}
+
+// unlockLine releases a lock returned by lockLine (nil in virtual mode).
+func unlockLine(sh *padMutex) {
+	if sh != nil {
+		sh.Unlock()
+	}
+}
+
 // resolveAsReader registers the line for reading, resolving conflicts with a
 // current writer. Requester-wins: the writer is doomed; if it is committing
 // (immune) the requester aborts instead.
 func (t *Thread) resolveAsReader(line uint32, counted bool) {
-	sh := t.eng.shardOf(line)
-	sh.Lock()
+	sh := t.lockLine(line)
 	rec := &t.eng.lines[line]
 	if rec.writer >= 0 && rec.writer != int32(t.slot) {
 		if t.eng.cfg.ResponderWins && !t.hardened {
-			sh.Unlock()
+			unlockLine(sh)
 			t.abortNow(ReasonConflict, false)
 		}
 		if !t.doomAt(line, rec.writer, ReasonConflict) {
-			sh.Unlock()
+			unlockLine(sh)
 			t.abortNow(ReasonCommitterConflict, false)
 		}
 		rec.writer = -1
 	}
 	rec.setReader(t.slot)
-	sh.Unlock()
-	t.reads[line] = counted
+	unlockLine(sh)
+	t.rs.put(line, counted)
 	t.readOrder = append(t.readOrder, line)
 	if counted {
 		t.readsCounted++
@@ -560,16 +594,15 @@ func (t *Thread) resolveAsReader(line uint32, counted bool) {
 // readers and any conflicting writer, and returns with the line buffered in
 // buf (copied under the shard lock so the snapshot is untorn).
 func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
-	sh := t.eng.shardOf(line)
-	sh.Lock()
+	sh := t.lockLine(line)
 	rec := &t.eng.lines[line]
 	if rec.writer >= 0 && rec.writer != int32(t.slot) {
 		if t.eng.cfg.ResponderWins && !t.hardened {
-			sh.Unlock()
+			unlockLine(sh)
 			t.abortNow(ReasonConflict, false)
 		}
 		if !t.doomAt(line, rec.writer, ReasonConflict) {
-			sh.Unlock()
+			unlockLine(sh)
 			t.abortNow(ReasonCommitterConflict, false)
 		}
 		rec.writer = -1
@@ -583,11 +616,11 @@ func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
 				continue
 			}
 			if t.eng.cfg.ResponderWins && !t.hardened {
-				sh.Unlock()
+				unlockLine(sh)
 				t.abortNow(ReasonConflict, false)
 			}
 			if !t.doomAt(line, slot, ReasonConflict) {
-				sh.Unlock()
+				unlockLine(sh)
 				t.abortNow(ReasonCommitterConflict, false)
 			}
 			rec.readers[w] &^= bit
@@ -601,7 +634,7 @@ func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
 		end = uint64(len(data))
 	}
 	copy(buf, data[base:end])
-	sh.Unlock()
+	unlockLine(sh)
 }
 
 func trailingZeros(x uint64) int32 { return int32(bits.TrailingZeros64(x)) }
@@ -620,7 +653,7 @@ func (t *Thread) capacityCheckLoad() {
 	}
 	var occupied int
 	if t.eng.plat.CombinedCapacity {
-		occupied = t.readsCounted + len(t.writes)
+		occupied = t.readsCounted + t.ws.size()
 	} else {
 		occupied = t.readsCounted
 	}
@@ -644,14 +677,14 @@ func (t *Thread) capacityCheckStore(line uint32) {
 	}
 	var occupied int
 	if t.eng.plat.CombinedCapacity {
-		occupied = t.readsCounted + len(t.writes)
-		if counted, wasRead := t.reads[line]; wasRead && counted {
+		occupied = t.readsCounted + t.ws.size()
+		if counted, wasRead := t.rs.get(line); wasRead && counted {
 			// A read line becoming written reuses its tracking entry
 			// (the TMCAM/L2 entry just gains the write bit).
 			occupied--
 		}
 	} else {
-		occupied = len(t.writes)
+		occupied = t.ws.size()
 	}
 	if occupied+1 > cap {
 		reason := ReasonCapacityStore
@@ -667,10 +700,10 @@ func (t *Thread) capacityCheckStore(line uint32) {
 		if ways < 1 {
 			ways = 1
 		}
-		if t.storeSetCnt[set]+1 > ways {
+		if t.waysets.get(set)+1 > ways {
 			t.abortNow(ReasonCapacityWay, true)
 		}
-		t.storeSetCnt[set]++
+		t.waysets.incr(set)
 	}
 }
 
@@ -699,25 +732,21 @@ func (t *Thread) maybePrefetch(line uint32) {
 		if int(next) >= t.eng.nLines {
 			return
 		}
-		if _, ok := t.reads[next]; ok {
+		if t.rs.has(next) || t.ws.has(next) {
 			continue
 		}
-		if _, ok := t.writes[next]; ok {
-			continue
-		}
-		sh := t.eng.shardOf(next)
-		sh.Lock()
+		sh := t.lockLine(next)
 		rec := &t.eng.lines[next]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doom(rec.writer, ReasonConflict) {
-				sh.Unlock()
+				unlockLine(sh)
 				return // drop the prefetch; the owner is committing
 			}
 			rec.writer = -1
 		}
 		rec.setReader(t.slot)
-		sh.Unlock()
-		t.reads[next] = false
+		unlockLine(sh)
+		t.rs.put(next, false)
 		t.readOrder = append(t.readOrder, next)
 	}
 }
@@ -737,9 +766,7 @@ func (t *Thread) constrainedCheck(line uint32) {
 	if t.accessCount > 32 {
 		panic(&ErrConstrained{Msg: "more than 32 accesses"})
 	}
-	_, inR := t.reads[line]
-	_, inW := t.writes[line]
-	if !inR && !inW && len(t.reads)+len(t.writes) >= 4 {
+	if !t.rs.has(line) && !t.ws.has(line) && t.rs.size()+t.ws.size() >= 4 {
 		panic(&ErrConstrained{Msg: "footprint exceeds 4 lines / 256 bytes"})
 	}
 }
@@ -754,15 +781,15 @@ func (t *Thread) txLoad(a mem.Addr, n int) []byte {
 	t.maybeCacheFetchAbort()
 	t.stats.TxLoads++
 	t.tickOp(t.loadCostPerOp)
-	if buf, ok := t.writes[line]; ok {
+	if buf, ok := t.ws.get(line); ok {
 		off := a & uint64(t.eng.lineSize-1)
 		return buf[off : off+uint64(n)]
 	}
-	if counted, ok := t.reads[line]; ok {
+	if counted, ok := t.rs.get(line); ok {
 		if !counted && t.kind != TxRollbackOnly {
 			// Promote a prefetched line to a real read: charge capacity.
 			t.capacityCheckLoad()
-			t.reads[line] = true
+			t.rs.put(line, true)
 			t.readsCounted++
 		}
 	} else if t.kind != TxRollbackOnly {
@@ -782,7 +809,7 @@ func (t *Thread) txLoad(a mem.Addr, n int) []byte {
 // hardware this models — does not tolerate the racy read itself).
 func (t *Thread) readShared(a mem.Addr, n int, line uint32) []byte {
 	data := t.eng.space.Data()
-	if t.eng.sched != nil {
+	if t.virtual {
 		return data[a : a+uint64(n)]
 	}
 	out := t.scratch[:]
@@ -806,18 +833,18 @@ func (t *Thread) txStore(a mem.Addr, n int) []byte {
 	t.maybeCacheFetchAbort()
 	t.stats.TxStores++
 	t.tickOp(t.storeCostPerOp)
-	buf, ok := t.writes[line]
+	buf, ok := t.ws.get(line)
 	if !ok {
 		t.capacityCheckStore(line)
 		buf = t.getLineBuf()
 		t.resolveAsWriter(line, buf)
-		t.writes[line] = buf
+		t.ws.put(line, buf)
 		t.writeOrder = append(t.writeOrder, line)
-		if counted, wasRead := t.reads[line]; wasRead && counted {
+		if counted, wasRead := t.rs.get(line); wasRead && counted {
 			// The line's tracking entry transitions from read to
 			// read+write; on combined-capacity platforms it must not be
 			// charged twice.
-			t.reads[line] = false
+			t.rs.put(line, false)
 			t.readsCounted--
 		}
 		t.maybePrefetch(line)
@@ -864,26 +891,39 @@ func (t *Thread) nonTxLoad(a mem.Addr, n int) []byte {
 	t.tickOp(0)
 	t.boundsCheck(a, n)
 	data := t.eng.space.Data()
-	if t.eng.activeTx.Load() == 0 {
+	// The tx-free fast path is only safe in virtual mode: with real
+	// concurrency a transaction can begin and commit between this check and
+	// the caller decoding the returned bytes.
+	if t.virtual && t.eng.activeTx.Load() == 0 {
 		return data[a : a+uint64(n)]
 	}
 	line := t.lineOf(a)
-	sh := t.eng.shardOf(line)
 	for {
-		sh.Lock()
+		sh := t.lockLine(line)
 		rec := &t.eng.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doom(rec.writer, ReasonNonTxConflict) {
-				sh.Unlock()
+				unlockLine(sh)
 				t.Pause(2) // owner is committing; wait it out
 				continue
 			}
 			rec.writer = -1
 		}
-		out := make([]byte, n)
-		copy(out, data[a:a+uint64(n)])
-		sh.Unlock()
-		return out
+		if t.virtual {
+			// Single runner: the arena cannot change under the caller
+			// before it consumes the slice.
+			return data[a : a+uint64(n)]
+		}
+		// All callers read ≤8 bytes and decode immediately, so the
+		// snapshot reuses the thread-local scratch buffer instead of
+		// allocating per call.
+		out := t.scratch[:]
+		if n > len(out) {
+			out = make([]byte, n)
+		}
+		copy(out[:n], data[a:a+uint64(n)])
+		unlockLine(sh)
+		return out[:n]
 	}
 }
 
@@ -893,18 +933,19 @@ func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 	t.tickOp(0)
 	t.boundsCheck(a, n)
 	data := t.eng.space.Data()
-	if t.eng.activeTx.Load() == 0 {
+	// Same virtual-only gate as nonTxLoad: a racing tx commit could
+	// otherwise tear against this unsynchronised write.
+	if t.virtual && t.eng.activeTx.Load() == 0 {
 		copy(data[a:a+uint64(n)], src)
 		return
 	}
 	line := t.lineOf(a)
-	sh := t.eng.shardOf(line)
 	for {
-		sh.Lock()
+		sh := t.lockLine(line)
 		rec := &t.eng.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doom(rec.writer, ReasonNonTxConflict) {
-				sh.Unlock()
+				unlockLine(sh)
 				t.Pause(2) // owner is committing; wait it out
 				continue
 			}
@@ -924,7 +965,7 @@ func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 			}
 		}
 		copy(data[a:a+uint64(n)], src)
-		sh.Unlock()
+		unlockLine(sh)
 		return
 	}
 }
@@ -1084,13 +1125,12 @@ func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
 	t.tickOp(t.eng.scaledCost(t.eng.plat.Costs.CAS))
 	t.boundsCheck(a, 8)
 	line := t.lineOf(a)
-	sh := t.eng.shardOf(line)
 	for {
-		sh.Lock()
+		sh := t.lockLine(line)
 		rec := &t.eng.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doom(rec.writer, ReasonNonTxConflict) {
-				sh.Unlock()
+				unlockLine(sh)
 				t.Pause(2) // owner is committing; wait it out
 				continue
 			}
@@ -1115,7 +1155,7 @@ func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
 		if ok {
 			binary.LittleEndian.PutUint64(data[a:], new)
 		}
-		sh.Unlock()
+		unlockLine(sh)
 		return ok
 	}
 }

@@ -18,12 +18,23 @@ import (
 // This is the measurement backbone of the reproduction: the paper's
 // speed-up ratios are virtual-cycle ratios here, so results are identical
 // on a laptop and a 64-core server.
+//
+// Scheduling state is O(1) per handoff: thread status lives in a
+// slot-indexed slice and electable threads sit in a binary min-heap keyed
+// by (vclock, slot). A parked thread's clock never changes while it is in
+// the heap — clocks only advance on the baton holder, and unblock raises a
+// clock *before* re-inserting — so heap keys are immutable and the usual
+// decrease-key machinery is unnecessary. The common yield fast path (the
+// caller is still the minimum) is a single peek at the heap root.
 type vsched struct {
 	mu      sync.Mutex
 	quantum int
 
-	// status per thread slot.
-	status map[int]schedStatus
+	// status per thread slot, indexed by Thread.slot.
+	status []schedStatus
+	// ready is a binary min-heap of electable threads ordered by
+	// (vclock, slot). The running thread is never in the heap.
+	ready []*Thread
 	// running is the slot currently holding the baton, or -1.
 	running int
 	// pending counts registered threads whose goroutines have not reached
@@ -36,22 +47,83 @@ type vsched struct {
 type schedStatus int
 
 const (
-	schedPending schedStatus = iota // registered; goroutine not started yet
+	schedNone    schedStatus = iota // slot never registered
+	schedPending                    // registered; goroutine not started yet
 	schedRunning
-	schedReady   // parked, electable
+	schedReady   // parked, electable (in the ready heap)
 	schedBlocked // parked, waiting for an Unblock (barrier)
 	schedDone
 )
 
-func newVsched(quantum int) *vsched {
+func newVsched(quantum, nThreads int) *vsched {
 	if quantum <= 0 {
 		quantum = 8
 	}
 	return &vsched{
 		quantum: quantum,
-		status:  make(map[int]schedStatus),
+		status:  make([]schedStatus, nThreads),
 		running: -1,
 	}
+}
+
+// ensureSlot grows the status slice to cover slot. Caller holds s.mu.
+func (s *vsched) ensureSlot(slot int) {
+	for slot >= len(s.status) {
+		s.status = append(s.status, schedNone)
+	}
+}
+
+// schedLess orders threads by (vclock, slot): the deterministic election
+// order of the scheduler.
+func schedLess(a, b *Thread) bool {
+	return a.vclock < b.vclock || (a.vclock == b.vclock && a.slot < b.slot)
+}
+
+// pushReady inserts t into the ready heap. Caller holds s.mu.
+func (s *vsched) pushReady(t *Thread) {
+	s.ready = append(s.ready, t)
+	i := len(s.ready) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !schedLess(s.ready[i], s.ready[p]) {
+			break
+		}
+		s.ready[i], s.ready[p] = s.ready[p], s.ready[i]
+		i = p
+	}
+}
+
+// popReady removes and returns the minimum-(clock, slot) ready thread, or
+// nil when none is electable. Caller holds s.mu.
+func (s *vsched) popReady() *Thread {
+	n := len(s.ready)
+	if n == 0 {
+		return nil
+	}
+	min := s.ready[0]
+	last := s.ready[n-1]
+	s.ready[n-1] = nil // release the reference for GC
+	s.ready = s.ready[:n-1]
+	if n > 1 {
+		s.ready[0] = last
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < n-1 && schedLess(s.ready[l], s.ready[small]) {
+				small = l
+			}
+			if r < n-1 && schedLess(s.ready[r], s.ready[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			s.ready[i], s.ready[small] = s.ready[small], s.ready[i]
+			i = small
+		}
+	}
+	return min
 }
 
 // register adds a thread before its worker goroutine starts, so the
@@ -61,7 +133,8 @@ func newVsched(quantum int) *vsched {
 func (s *vsched) register(t *Thread) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if st, ok := s.status[t.slot]; ok && st != schedDone {
+	s.ensureSlot(t.slot)
+	if st := s.status[t.slot]; st != schedNone && st != schedDone {
 		panic(fmt.Sprintf("htm: thread %d registered twice", t.slot))
 	}
 	s.status[t.slot] = schedPending
@@ -79,6 +152,7 @@ func (s *vsched) begin(t *Thread) {
 		panic(fmt.Sprintf("htm: thread %d begins without registration", t.slot))
 	}
 	s.status[t.slot] = schedReady
+	s.pushReady(t)
 	s.pending--
 	if s.pending > 0 || s.running != -1 {
 		// Not everyone is here yet, or a schedule is already in flight
@@ -87,7 +161,7 @@ func (s *vsched) begin(t *Thread) {
 		<-t.gate
 		return
 	}
-	first := s.electLocked(t.eng)
+	first := s.electLocked()
 	s.mu.Unlock()
 	if first == t {
 		return
@@ -96,21 +170,11 @@ func (s *vsched) begin(t *Thread) {
 	<-t.gate
 }
 
-// electLocked picks the ready thread with the smallest (clock, slot), marks
+// electLocked pops the ready thread with the smallest (clock, slot), marks
 // it running and returns it; nil when no thread is electable. Caller holds
 // s.mu.
-func (s *vsched) electLocked(e *Engine) *Thread {
-	var best *Thread
-	for slot, st := range s.status {
-		if st != schedReady {
-			continue
-		}
-		th := e.threads[slot]
-		if best == nil || th.vclock < best.vclock ||
-			(th.vclock == best.vclock && th.slot < best.slot) {
-			best = th
-		}
-	}
+func (s *vsched) electLocked() *Thread {
+	best := s.popReady()
 	if best != nil {
 		s.status[best.slot] = schedRunning
 		s.running = best.slot
@@ -139,24 +203,14 @@ func (s *vsched) checkDeadlockLocked() {
 // caller. The caller must be the running thread.
 func (s *vsched) yield(t *Thread) {
 	s.mu.Lock()
-	// Fast path: caller remains the minimum.
-	isMin := true
-	for slot, st := range s.status {
-		if st != schedReady {
-			continue
-		}
-		th := t.eng.threads[slot]
-		if th.vclock < t.vclock || (th.vclock == t.vclock && th.slot < t.slot) {
-			isMin = false
-			break
-		}
-	}
-	if isMin {
+	// Fast path: caller remains the minimum — one peek at the heap root.
+	if len(s.ready) == 0 || !schedLess(s.ready[0], t) {
 		s.mu.Unlock()
 		return
 	}
 	s.status[t.slot] = schedReady
-	next := s.electLocked(t.eng)
+	s.pushReady(t)
+	next := s.electLocked()
 	s.mu.Unlock()
 	next.gate <- struct{}{}
 	<-t.gate
@@ -167,7 +221,7 @@ func (s *vsched) yield(t *Thread) {
 func (s *vsched) block(t *Thread) {
 	s.mu.Lock()
 	s.status[t.slot] = schedBlocked
-	next := s.electLocked(t.eng)
+	next := s.electLocked()
 	if next == nil {
 		s.running = -1
 		s.checkDeadlockLocked()
@@ -180,7 +234,9 @@ func (s *vsched) block(t *Thread) {
 }
 
 // unblockLocked marks a blocked thread ready and advances its clock to at
-// least atClock (time spent blocked passes for everyone). Caller holds s.mu.
+// least atClock (time spent blocked passes for everyone). The clock is
+// raised before the heap insert, keeping heap keys immutable. Caller holds
+// s.mu.
 func (s *vsched) unblockLocked(t *Thread, atClock uint64) {
 	if s.status[t.slot] != schedBlocked {
 		panic(fmt.Sprintf("htm: unblock of non-blocked thread %d", t.slot))
@@ -189,6 +245,7 @@ func (s *vsched) unblockLocked(t *Thread, atClock uint64) {
 		t.vclock = atClock
 	}
 	s.status[t.slot] = schedReady
+	s.pushReady(t)
 }
 
 // exit removes the finishing thread from scheduling and passes the baton on.
@@ -197,7 +254,7 @@ func (s *vsched) exit(t *Thread) {
 	s.status[t.slot] = schedDone
 	var next *Thread
 	if s.running == t.slot {
-		next = s.electLocked(t.eng)
+		next = s.electLocked()
 		if next == nil {
 			s.running = -1
 		}
@@ -255,7 +312,7 @@ func (b *Barrier) Wait(t *Thread) {
 	if b.count < b.n {
 		b.waiters = append(b.waiters, t)
 		s.status[t.slot] = schedBlocked
-		next := s.electLocked(b.eng)
+		next := s.electLocked()
 		if next == nil {
 			s.running = -1
 			s.checkDeadlockLocked()

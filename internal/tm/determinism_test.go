@@ -1,0 +1,162 @@
+package tm_test
+
+// Determinism regression harness for the engine's hot-path optimizations.
+//
+// The virtual-time scheduler's contract is that results are bit-identical
+// for a given seed: the same virtual clocks, the same conflict pattern, the
+// same abort mix — on any host and, critically, across engine-internal
+// refactors. This test pins that contract with golden values: a fixed-seed
+// mixed workload (small contended read-modify-writes, occasional large
+// read-mostly transactions that stress capacity, the Figure 1 retry
+// mechanism with the global-lock fallback) runs on each platform at two
+// thread counts, and MaxClock plus the engine counters must match the
+// values recorded from the seed engine exactly. Any scheduling, conflict
+// or cost change — intended or not — trips it.
+//
+// Golden values were captured from the pre-optimization engine (the PR 1
+// tree) and must survive the map-free access sets, virtual-mode lock
+// elision and the heap-based scheduler handoff unchanged. If a future PR
+// changes virtual-time semantics *on purpose*, regenerate with:
+//
+//	go test ./internal/tm -run TestGoldenDeterminism -v -golden-print
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"htmcmp/internal/htm"
+	"htmcmp/internal/platform"
+	"htmcmp/internal/tm"
+)
+
+var goldenPrint = flag.Bool("golden-print", false, "print measured golden rows instead of asserting")
+
+type goldenRow struct {
+	kind     platform.Kind
+	threads  int
+	maxClock uint64
+	begins   uint64
+	commits  uint64
+	aborts   uint64
+	txLoads  uint64
+	txStores uint64
+}
+
+// goldenRun executes the fixed workload and returns the measured row.
+func goldenRun(kind platform.Kind, threads int) goldenRow {
+	spec := platform.New(kind)
+	e := htm.New(spec, htm.Config{
+		Threads: threads, SpaceSize: 8 << 20, Seed: 20250806, Virtual: true,
+		CostScale: 1,
+	})
+	lock := tm.NewGlobalLock(e)
+	setup := e.Thread(0)
+	const hotLines = 64
+	line := uint64(e.LineSize())
+	base := setup.Alloc(hotLines * e.LineSize())
+	big := setup.Alloc(64 * e.LineSize())
+	for i := 0; i < threads; i++ {
+		e.Thread(i).Register()
+	}
+	e.ResetClocks()
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := e.Thread(tid)
+			x := tm.NewExecutor(th, lock, tm.DefaultPolicy(kind))
+			th.BeginWork()
+			defer th.ExitWork()
+			rng := th.Rand()
+			for j := 0; j < 200; j++ {
+				th.Work(25)
+				// Transaction shape is drawn before the attempt so retries
+				// re-execute the identical body.
+				if j%16 == tid&15 {
+					// Large read-mostly transaction: stresses capacity
+					// accounting (aborts persistently on POWER8's TMCAM).
+					x.Run(func(t *htm.Thread) {
+						for l := uint64(0); l < 40; l++ {
+							_ = t.Load64(big + l*line)
+						}
+						t.Store64(big, t.Load64(big)+1)
+					})
+					continue
+				}
+				k := 1 + rng.Intn(6)
+				off := uint64(rng.Intn(hotLines))
+				x.Run(func(t *htm.Thread) {
+					for l := uint64(0); l < uint64(k); l++ {
+						a := base + ((off+l)%hotLines)*line
+						t.Store64(a, t.Load64(a)+1)
+					}
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	return goldenRow{
+		kind: kind, threads: threads, maxClock: e.MaxClock(),
+		begins: st.Begins, commits: st.Commits, aborts: st.Aborts,
+		txLoads: st.TxLoads, txStores: st.TxStores,
+	}
+}
+
+// golden holds the values measured on the seed engine (see file comment).
+var golden = []goldenRow{
+	{kind: platform.BlueGeneQ, threads: 2, maxClock: 76735, begins: 430, commits: 398, aborts: 32, txLoads: 2843, txStores: 1319},
+	{kind: platform.BlueGeneQ, threads: 4, maxClock: 124663, begins: 1134, commits: 775, aborts: 359, txLoads: 7092, txStores: 3398},
+	{kind: platform.ZEC12, threads: 2, maxClock: 19950, begins: 434, commits: 399, aborts: 35, txLoads: 2949, txStores: 1389},
+	{kind: platform.ZEC12, threads: 4, maxClock: 28538, begins: 1058, commits: 784, aborts: 274, txLoads: 6946, txStores: 3283},
+	{kind: platform.IntelCore, threads: 2, maxClock: 23304, begins: 508, commits: 394, aborts: 114, txLoads: 3352, txStores: 1584},
+	{kind: platform.IntelCore, threads: 4, maxClock: 33996, begins: 1309, commits: 769, aborts: 540, txLoads: 8281, txStores: 3895},
+	{kind: platform.POWER8, threads: 2, maxClock: 20050, begins: 424, commits: 399, aborts: 25, txLoads: 2838, txStores: 1316},
+	{kind: platform.POWER8, threads: 4, maxClock: 32078, begins: 1146, commits: 782, aborts: 364, txLoads: 7315, txStores: 3453},
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden workload is not short")
+	}
+	if *goldenPrint {
+		for _, kind := range []platform.Kind{platform.BlueGeneQ, platform.ZEC12, platform.IntelCore, platform.POWER8} {
+			for _, n := range []int{2, 4} {
+				g := goldenRun(kind, n)
+				fmt.Printf("\t{kind: platform.%v, threads: %d, maxClock: %d, begins: %d, commits: %d, aborts: %d, txLoads: %d, txStores: %d},\n",
+					kindName(g.kind), g.threads, g.maxClock, g.begins, g.commits, g.aborts, g.txLoads, g.txStores)
+			}
+		}
+		return
+	}
+	if len(golden) == 0 {
+		t.Fatal("golden table is empty; regenerate with -golden-print")
+	}
+	for _, want := range golden {
+		want := want
+		t.Run(fmt.Sprintf("%s-%dt", want.kind.Short(), want.threads), func(t *testing.T) {
+			t.Parallel()
+			got := goldenRun(want.kind, want.threads)
+			if got != want {
+				t.Errorf("virtual-time results diverge from the seed engine\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+func kindName(k platform.Kind) string {
+	switch k {
+	case platform.BlueGeneQ:
+		return "BlueGeneQ"
+	case platform.ZEC12:
+		return "ZEC12"
+	case platform.IntelCore:
+		return "IntelCore"
+	case platform.POWER8:
+		return "POWER8"
+	}
+	return "?"
+}
