@@ -5,8 +5,12 @@ GO      ?= go
 BIN     := bin
 SMOKE   := /tmp/htmcmp-smoke
 JOBS    ?= 4
+# GATE is the bench-hotpath-smoke regression threshold in percent. It is
+# deliberately loose: CI hosts differ from the machine that recorded
+# BENCH_hotpath.json, so only a gross slowdown should fail the build.
+GATE    ?= 200
 
-.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke clean
+.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke trace-smoke clean
 
 build:
 	$(GO) build ./...
@@ -17,8 +21,9 @@ build:
 test:
 	$(GO) test ./...
 
+# racecheck also compiles in the debug assertions (quiescent-only Stats).
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race -tags racecheck ./internal/...
 
 lint:
 	$(GO) vet ./...
@@ -72,7 +77,35 @@ bench-hotpath-smoke:
 		-count=1 ./internal/htm | tee $(SMOKE)/bench-hotpath.txt
 	./$(BIN)/benchjson -label smoke-1x -o $(SMOKE)/BENCH_hotpath.json \
 		<$(SMOKE)/bench-hotpath.txt
-	@echo "bench-hotpath-smoke ok"
+	$(GO) test -run '^$$' -bench '^BenchmarkHotpathTx(Load|Store)(8|64)$$$$' \
+		-benchtime=20000x -count=1 ./internal/htm | tee $(SMOKE)/bench-gate.txt
+	./$(BIN)/benchjson -baseline BENCH_hotpath.json -gate $(GATE) \
+		-o $(SMOKE)/BENCH_gate.json <$(SMOKE)/bench-gate.txt
+	@echo "bench-hotpath-smoke ok (gate: no per-op benchmark regressed >$(GATE)%)"
+
+# trace-smoke records an event-traced run of a small benchmark and validates
+# both export formats, then exercises the sweep-level tracing/metrics flags:
+# every per-cell JSONL file must validate and METRICS.json must report the
+# computed cells.
+trace-smoke: build
+	mkdir -p $(SMOKE)
+	./$(BIN)/htmtrace -events -bench intruder -scale test -threads 4 \
+		-jsonl $(SMOKE)/intruder.jsonl -perfetto $(SMOKE)/intruder.trace.json \
+		>$(SMOKE)/intruder-report.txt 2>$(SMOKE)/intruder-report.log
+	grep -q 'top conflicting lines' $(SMOKE)/intruder-report.txt
+	./$(BIN)/htmtrace -check-events $(SMOKE)/intruder.jsonl \
+		-check-trace $(SMOKE)/intruder.trace.json
+	rm -rf $(SMOKE)/traces
+	./$(BIN)/htmbench -exp fig2+3 -scale test -jobs $(JOBS) -no-cache \
+		-trace-dir $(SMOKE)/traces -metrics $(SMOKE)/METRICS.json \
+		>/dev/null 2>$(SMOKE)/trace-sweep.log
+	@ls $(SMOKE)/traces/*.jsonl >/dev/null 2>&1 || { \
+		echo "sweep produced no per-cell trace files"; exit 1; }
+	@for f in $(SMOKE)/traces/*.jsonl; do \
+		./$(BIN)/htmtrace -check-events $$f >/dev/null || exit 1; done
+	@grep -q '"cells_computed"' $(SMOKE)/METRICS.json || { \
+		echo "METRICS.json missing counters:"; cat $(SMOKE)/METRICS.json; exit 1; }
+	@echo "trace-smoke ok: event report, Chrome trace, per-cell JSONL and METRICS.json all validate"
 
 clean:
 	rm -rf $(BIN) $(SMOKE) .htmcache

@@ -6,6 +6,7 @@
 //
 //	go test -bench '^BenchmarkHotpath' -run '^$' ./internal/htm | benchjson \
 //	    [-baseline BENCH_hotpath.json] [-label after] [-o BENCH_hotpath.json]
+//	    [-gate 10]
 //
 // The input is the standard benchmark text format:
 //
@@ -14,6 +15,10 @@
 // With -baseline, the previous document's "current" section is preserved
 // under "baseline" and a speedup ratio (baseline ns / current ns) is emitted
 // per benchmark, so the JSON itself records the before/after comparison.
+//
+// With -gate PCT (requires -baseline), the command exits 1 after writing its
+// output if any benchmark regressed by more than PCT percent versus the
+// baseline, listing the offenders on stderr — the CI regression gate.
 package main
 
 import (
@@ -82,11 +87,47 @@ func parse(sc *bufio.Scanner, doc *Doc) error {
 	return sc.Err()
 }
 
+// regression describes one gated benchmark that got slower.
+type regression struct {
+	name     string
+	baseNs   float64
+	curNs    float64
+	deltaPct float64
+}
+
+// gateRegressions returns the benchmarks whose current ns/op exceeds the
+// baseline by more than pct percent. Benchmarks absent from the baseline are
+// ignored: a new benchmark has nothing to regress against.
+func gateRegressions(doc Doc, pct float64) []regression {
+	base := map[string]float64{}
+	for _, r := range doc.Baseline {
+		base[r.Name] = r.NsPerOp
+	}
+	var regs []regression
+	for _, r := range doc.Current {
+		b, ok := base[r.Name]
+		if !ok || b <= 0 {
+			continue
+		}
+		delta := 100 * (r.NsPerOp - b) / b
+		if delta > pct {
+			regs = append(regs, regression{name: r.Name, baseNs: b, curNs: r.NsPerOp, deltaPct: delta})
+		}
+	}
+	return regs
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "previous benchjson output; its current section becomes this document's baseline")
 	label := flag.String("label", "", "free-form label recorded in the document")
 	out := flag.String("o", "", "output file (default stdout)")
+	gate := flag.Float64("gate", 0, "fail (exit 1) if any benchmark regresses more than this percentage vs -baseline; 0 disables")
 	flag.Parse()
+
+	if *gate > 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+		os.Exit(2)
+	}
 
 	doc := Doc{Label: *label}
 	sc := bufio.NewScanner(os.Stdin)
@@ -132,12 +173,22 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
+	// Write the document before gating: a failed gate should still leave
+	// the comparison on disk / in the CI artifact for diagnosis.
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *gate > 0 {
+		if regs := gateRegressions(doc, *gate); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%%:\n", len(regs), *gate)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s: %.1f -> %.1f ns/op (+%.1f%%)\n", r.name, r.baseNs, r.curNs, r.deltaPct)
+			}
+			os.Exit(1)
+		}
 	}
 }

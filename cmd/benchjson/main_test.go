@@ -49,3 +49,42 @@ func TestParseKeepsSubBenchmarkNames(t *testing.T) {
 		t.Fatalf("results = %+v", doc.Current)
 	}
 }
+
+func TestGateRegressions(t *testing.T) {
+	doc := Doc{
+		Baseline: []Result{
+			{Name: "BenchmarkA", NsPerOp: 100},
+			{Name: "BenchmarkB", NsPerOp: 100},
+			{Name: "BenchmarkC", NsPerOp: 100},
+		},
+		Current: []Result{
+			{Name: "BenchmarkA", NsPerOp: 105},   // +5%: under a 10% gate
+			{Name: "BenchmarkB", NsPerOp: 125},   // +25%: over
+			{Name: "BenchmarkC", NsPerOp: 80},    // improvement
+			{Name: "BenchmarkNew", NsPerOp: 999}, // no baseline: ignored
+		},
+	}
+	regs := gateRegressions(doc, 10)
+	if len(regs) != 1 || regs[0].name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want only BenchmarkB", regs)
+	}
+	if regs[0].deltaPct < 24.9 || regs[0].deltaPct > 25.1 {
+		t.Errorf("deltaPct = %.2f, want ~25", regs[0].deltaPct)
+	}
+	if got := gateRegressions(doc, 30); len(got) != 0 {
+		t.Errorf("30%% gate flagged %+v, want none", got)
+	}
+	if got := gateRegressions(doc, 1); len(got) != 2 {
+		t.Errorf("1%% gate flagged %d, want 2 (A and B)", len(got))
+	}
+}
+
+func TestGateIgnoresZeroBaseline(t *testing.T) {
+	doc := Doc{
+		Baseline: []Result{{Name: "BenchmarkZ", NsPerOp: 0}},
+		Current:  []Result{{Name: "BenchmarkZ", NsPerOp: 50}},
+	}
+	if got := gateRegressions(doc, 10); len(got) != 0 {
+		t.Errorf("zero baseline flagged %+v, want none", got)
+	}
+}

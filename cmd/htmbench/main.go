@@ -7,6 +7,7 @@
 //
 //	htmbench -exp fig2 [-scale sim] [-repeats 2] [-tune] [-csv] [-v]
 //	         [-jobs N] [-cache-dir .htmcache] [-no-cache] [-resume=false]
+//	         [-trace-dir DIR] [-metrics FILE]
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
 // fig11, prefetch (the Section 5.1 ablation), or all.
@@ -51,6 +52,8 @@ func main() {
 	resume := flag.Bool("resume", true, "reuse cached results from earlier runs (false recomputes and overwrites)")
 	cellTimeout := flag.Duration("cell-timeout", 30*time.Minute, "per-cell wall-clock budget (0 = unbounded)")
 	progress := flag.Bool("progress", true, "print live sweep progress/ETA to stderr")
+	traceDir := flag.String("trace-dir", "", "write per-cell JSONL transaction-event files into this directory (implies -resume=false: cached cells execute nothing)")
+	metricsPath := flag.String("metrics", "", "write sweep-level counters as JSON to this file (METRICS.json style)")
 	flag.Parse()
 
 	var scale stamp.Scale
@@ -77,6 +80,19 @@ func main() {
 		names = []string{"table1", "fig2+3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "prefetch", "stm", "capacity"}
 	}
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *resume {
+			// Cache hits never execute a simulation, so they would leave
+			// holes in the trace set; force recomputation.
+			fmt.Fprintln(os.Stderr, "htmbench: -trace-dir forces -resume=false (cached cells produce no events)")
+			*resume = false
+		}
+	}
+
 	var store *cache.Store
 	if !*noCache {
 		var err error
@@ -95,6 +111,7 @@ func main() {
 		Resume:   *resume,
 		Timeout:  *cellTimeout,
 		Progress: progressW,
+		TraceDir: *traceDir,
 	})
 
 	// Planning pass: record every cell the selected experiments will
@@ -128,10 +145,29 @@ func main() {
 		if err := runExperiment(n, renderOpts, sched, os.Stdout, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "htmbench: %s: %v\n", n, err)
 			fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
+			writeMetrics(*metricsPath, sched)
 			os.Exit(1)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
+	writeMetrics(*metricsPath, sched)
+}
+
+// writeMetrics dumps the scheduler's live counters to path (no-op when
+// empty). Written even on render failure so a partial sweep is observable.
+func writeMetrics(path string, sched *sweep.Scheduler) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htmbench: metrics: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := sched.Metrics().WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "htmbench: metrics: %v\n", err)
+	}
 }
 
 // hasCells reports whether the experiment decomposes into sweep cells; the

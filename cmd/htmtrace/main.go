@@ -1,20 +1,32 @@
 // Command htmtrace analyses transaction behaviour: per-transaction footprint
-// distributions (the data behind Figures 10 and 11), and optionally the
-// conflict hot spots of a parallel run.
+// distributions (the data behind Figures 10 and 11), and full event traces
+// of parallel runs with abort attribution.
 //
 // Usage:
 //
-//	htmtrace -bench yada -platform zec12           # footprint distribution
-//	htmtrace -bench intruder -platform zec12 -conflicts
+//	htmtrace -bench yada -platform zec12             # footprint distribution
+//	htmtrace -bench intruder -platform zec12 -events # traced 4-thread run
+//	htmtrace -events -bench yada -jsonl yada.jsonl -perfetto yada.trace.json
+//	htmtrace -check-events yada.jsonl                # validate a JSONL trace
+//	htmtrace -check-trace yada.trace.json            # validate a Chrome trace
+//
+// The -events mode runs the benchmark with an event tracer attached and
+// prints an abort-attribution report: abort-reason × retry-depth histogram,
+// commit-latency percentiles in virtual cycles, and the hottest conflicting
+// cache lines with their symbolic region names. -jsonl and -perfetto
+// additionally export the raw events; the Perfetto file loads in
+// https://ui.perfetto.dev or chrome://tracing with one track per simulated
+// thread and virtual clocks as timestamps.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"htmcmp/internal/htm"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 	"htmcmp/internal/tm"
@@ -25,39 +37,40 @@ func main() {
 	platName := flag.String("platform", "zec12", "platform: bgq, zec12, intel, power8")
 	bench := flag.String("bench", "vacation-low", "STAMP benchmark name")
 	scaleName := flag.String("scale", "sim", "workload scale: test, sim, full")
-	conflicts := flag.Bool("conflicts", false, "run 4 threads and report conflict hot lines instead of footprints")
+	events := flag.Bool("events", false, "run -threads threads with an event tracer and report abort attribution")
+	conflicts := flag.Bool("conflicts", false, "deprecated alias for -events")
+	threads := flag.Int("threads", 4, "thread count for -events runs")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	jsonlPath := flag.String("jsonl", "", "with -events: also write the raw events as JSONL to this file")
+	perfettoPath := flag.String("perfetto", "", "with -events: also write a Chrome/Perfetto trace to this file")
+	top := flag.Int("top", 10, "with -events: number of hot conflicting lines to print")
+	checkEvents := flag.String("check-events", "", "validate a JSONL event file and exit (CI hook)")
+	checkTrace := flag.String("check-trace", "", "validate a Chrome trace file and exit (CI hook)")
 	flag.Parse()
 
-	var kind platform.Kind
-	switch *platName {
-	case "bgq", "bg":
-		kind = platform.BlueGeneQ
-	case "zec12", "z12":
-		kind = platform.ZEC12
-	case "intel", "ic":
-		kind = platform.IntelCore
-	case "power8", "p8":
-		kind = platform.POWER8
-	default:
-		fmt.Fprintf(os.Stderr, "htmtrace: unknown platform %q\n", *platName)
+	if *checkEvents != "" || *checkTrace != "" {
+		os.Exit(runChecks(*checkEvents, *checkTrace, os.Stdout, os.Stderr))
+	}
+
+	kind, err := parsePlatform(*platName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htmtrace:", err)
 		os.Exit(2)
 	}
-	var scale stamp.Scale
-	switch *scaleName {
-	case "test":
-		scale = stamp.ScaleTest
-	case "sim":
-		scale = stamp.ScaleSim
-	case "full":
-		scale = stamp.ScaleFull
-	default:
-		fmt.Fprintf(os.Stderr, "htmtrace: unknown scale %q\n", *scaleName)
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htmtrace:", err)
 		os.Exit(2)
 	}
 
 	if *conflicts {
-		reportConflicts(kind, *bench, scale, *seed)
+		fmt.Fprintln(os.Stderr, "htmtrace: -conflicts is deprecated; it now runs the -events report")
+	}
+	if *events || *conflicts {
+		if err := runEvents(kind, *bench, scale, *seed, *threads, *top, *jsonlPath, *perfettoPath); err != nil {
+			fmt.Fprintln(os.Stderr, "htmtrace:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -76,6 +89,34 @@ func main() {
 	fmt.Printf("  max store footprint:    %8.2f KB\n", fp.MaxStoreKB)
 }
 
+// parsePlatform resolves a platform flag value (long or short name).
+func parsePlatform(name string) (platform.Kind, error) {
+	switch name {
+	case "bgq", "bg":
+		return platform.BlueGeneQ, nil
+	case "zec12", "z12":
+		return platform.ZEC12, nil
+	case "intel", "ic":
+		return platform.IntelCore, nil
+	case "power8", "p8":
+		return platform.POWER8, nil
+	}
+	return 0, fmt.Errorf("unknown platform %q", name)
+}
+
+// parseScale resolves a scale flag value.
+func parseScale(name string) (stamp.Scale, error) {
+	switch name {
+	case "test":
+		return stamp.ScaleTest, nil
+	case "sim":
+		return stamp.ScaleSim, nil
+	case "full":
+		return stamp.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", name)
+}
+
 func overMark(over bool) string {
 	if over {
 		return "  << EXCEEDS CAPACITY"
@@ -83,52 +124,83 @@ func overMark(over bool) string {
 	return ""
 }
 
-// reportConflicts runs the benchmark with 4 threads and a conflict sampler
-// attached and prints the hottest conflict-detection lines.
-func reportConflicts(kind platform.Kind, bench string, scale stamp.Scale, seed uint64) {
-	counts := map[uint32]int{}
+// runChecks validates previously exported trace files (the CI hook behind
+// -check-events/-check-trace) and returns the process exit code.
+func runChecks(eventsPath, tracePath string, out, errw *os.File) int {
+	code := 0
+	if eventsPath != "" {
+		n, err := obs.ValidateFile(eventsPath)
+		if err != nil {
+			fmt.Fprintf(errw, "htmtrace: %s: %v\n", eventsPath, err)
+			code = 1
+		} else {
+			fmt.Fprintf(out, "%s: %d valid events\n", eventsPath, n)
+		}
+	}
+	if tracePath != "" {
+		b, err := os.ReadFile(tracePath)
+		switch {
+		case err != nil:
+			fmt.Fprintf(errw, "htmtrace: %v\n", err)
+			code = 1
+		case !json.Valid(b):
+			fmt.Fprintf(errw, "htmtrace: %s: not valid JSON\n", tracePath)
+			code = 1
+		default:
+			fmt.Fprintf(out, "%s: valid Chrome trace JSON (%d bytes)\n", tracePath, len(b))
+		}
+	}
+	return code
+}
+
+// runEvents runs the benchmark with an event tracer attached and prints the
+// abort-attribution report; jsonlPath/perfettoPath additionally export the
+// raw events.
+func runEvents(kind platform.Kind, bench string, scale stamp.Scale, seed uint64, threads, top int, jsonlPath, perfettoPath string) error {
+	if threads < 1 {
+		threads = 1
+	}
+	tracer := obs.NewTracer(threads, obs.DefaultRingEvents)
 	e := htm.New(platform.New(kind), htm.Config{
-		Threads: 4, SpaceSize: 96 << 20, Seed: seed, Virtual: true, CostScale: 1,
-		ConflictSampler: func(line uint32, victim int) { counts[line]++ },
+		Threads: threads, SpaceSize: 96 << 20, Seed: seed, Virtual: true, CostScale: 1,
+		Tracer: tracer,
 	})
 	b, err := stamp.New(bench, stamp.Config{Scale: scale, Seed: seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "htmtrace:", err)
-		os.Exit(1)
+		return err
 	}
 	b.Setup(e.Thread(0))
 	lock := tm.NewGlobalLock(e)
-	runners := make([]stamp.Runner, 4)
+	runners := make([]stamp.Runner, threads)
 	for i := range runners {
 		runners[i] = stamp.TMRunner{X: tm.NewExecutor(e.Thread(i), lock, tm.DefaultPolicy(kind))}
 	}
 	b.Run(runners)
 	if err := b.Validate(e.Thread(0)); err != nil {
-		fmt.Fprintln(os.Stderr, "htmtrace: validation:", err)
-		os.Exit(1)
+		return fmt.Errorf("validation: %w", err)
 	}
 
-	type lc struct {
-		line uint32
-		n    int
-	}
-	var ls []lc
-	total := 0
-	for l, n := range counts {
-		ls = append(ls, lc{l, n})
-		total += n
-	}
-	sort.Slice(ls, func(i, j int) bool {
-		if ls[i].n != ls[j].n {
-			return ls[i].n > ls[j].n
-		}
-		return ls[i].line < ls[j].line
+	evs := tracer.Events()
+	rep := obs.Aggregate(evs, obs.ReportOptions{
+		TopN:     top,
+		LineSize: e.LineSize(),
+		RegionAt: e.Space().RegionAt,
 	})
-	fmt.Printf("%s on %s, 4 threads: %d conflicts across %d lines\n\n", bench, kind, total, len(ls))
-	fmt.Printf("%-12s %-12s %-10s %s\n", "line", "address", "conflicts", "share")
-	for i := 0; i < 15 && i < len(ls); i++ {
-		fmt.Printf("%-12d %#-12x %-10d %.1f%%\n",
-			ls[i].line, uint64(ls[i].line)*uint64(e.LineSize()), ls[i].n,
-			100*float64(ls[i].n)/float64(total))
+	fmt.Printf("%s on %s, %d threads (virtual clock %d, %d scheduler handoffs)\n\n",
+		bench, kind, threads, e.MaxClock(), e.SchedHandoffs())
+	rep.Fprint(os.Stdout)
+
+	if jsonlPath != "" {
+		if err := obs.WriteJSONLFile(jsonlPath, evs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "htmtrace: wrote %d events to %s\n", len(evs), jsonlPath)
 	}
+	if perfettoPath != "" {
+		if err := obs.WriteChromeTraceFile(perfettoPath, evs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "htmtrace: wrote Chrome trace to %s (load in ui.perfetto.dev)\n", perfettoPath)
+	}
+	return nil
 }

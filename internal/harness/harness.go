@@ -5,9 +5,15 @@
 package harness
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"path/filepath"
+	"strings"
 
 	"htmcmp/internal/htm"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 	"htmcmp/internal/stats"
@@ -50,6 +56,10 @@ type RunSpec struct {
 	TMCAMEntries int
 	// SpaceSize overrides the arena size (bytes).
 	SpaceSize int
+	// TraceDir, when non-empty, attaches an event tracer to every parallel
+	// run and writes a <label>-r<rep>.jsonl event file per repeat into it.
+	// Excluded from JSON so sweep cache keys are unaffected by tracing.
+	TraceDir string `json:"-"`
 }
 
 // Label is a short human-readable identifier for progress reporting.
@@ -159,6 +169,18 @@ func (s RunSpec) benchConfig(seed uint64) stamp.Config {
 	}
 }
 
+// traceName is the per-repeat event-file name: the human-readable label
+// plus a short digest of the full spec. The label alone does not separate
+// every sweep dimension (e.g. original vs modified variants share one
+// label), and two cells writing the same file concurrently would corrupt
+// it.
+func (s RunSpec) traceName(rep int) string {
+	b, _ := json.Marshal(s)
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%s-%s-r%d.jsonl",
+		strings.ReplaceAll(s.Label(), "/", "-"), hex.EncodeToString(sum[:4]), rep)
+}
+
 // runSeqOnce runs one sequential (non-HTM) execution and returns the region
 // duration in virtual cycles.
 func (s RunSpec) runSeqOnce(seed uint64) (float64, error) {
@@ -179,8 +201,14 @@ func (s RunSpec) runSeqOnce(seed uint64) (float64, error) {
 
 // runParOnce runs one parallel execution, returning the region duration in
 // virtual cycles and the accumulated runtime/engine statistics.
-func (s RunSpec) runParOnce(seed uint64) (float64, tm.Stats, htm.Stats, error) {
-	e := htm.New(s.platformSpec(), s.engineConfig(s.Threads, seed))
+func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats, error) {
+	cfg := s.engineConfig(s.Threads, seed)
+	var tracer *obs.Tracer
+	if s.TraceDir != "" {
+		tracer = obs.NewTracer(s.Threads, obs.DefaultRingEvents)
+		cfg.Tracer = tracer
+	}
+	e := htm.New(s.platformSpec(), cfg)
 	b, err := stamp.New(s.Benchmark, s.benchConfig(seed))
 	if err != nil {
 		return 0, tm.Stats{}, htm.Stats{}, err
@@ -213,6 +241,11 @@ func (s RunSpec) runParOnce(seed uint64) (float64, tm.Stats, htm.Stats, error) {
 	for _, x := range execs {
 		agg.Add(&x.Stats)
 	}
+	if tracer != nil {
+		if err := obs.WriteJSONLFile(filepath.Join(s.TraceDir, s.traceName(rep)), tracer.Events()); err != nil {
+			return 0, tm.Stats{}, htm.Stats{}, err
+		}
+	}
 	return elapsed, agg, e.Stats(), nil
 }
 
@@ -239,7 +272,7 @@ func Run(spec RunSpec) (Result, error) {
 	parTimes := make([]float64, 0, spec.Repeats)
 	speedups := make([]float64, 0, spec.Repeats)
 	for i := 0; i < spec.Repeats; i++ {
-		p, tmStats, engStats, err := spec.runParOnce(spec.Seed + uint64(i)*1009)
+		p, tmStats, engStats, err := spec.runParOnce(spec.Seed+uint64(i)*1009, i)
 		if err != nil {
 			return res, err
 		}

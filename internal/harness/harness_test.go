@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 )
@@ -163,5 +166,63 @@ func TestMeasureAppliesBGQGenomeChunk(t *testing.T) {
 	}
 	if res.Spec.ChunkStep1 != 9 {
 		t.Errorf("BG/Q genome ChunkStep1 = %d, want the paper's tuned 9", res.Spec.ChunkStep1)
+	}
+}
+
+func TestRunWritesTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := RunSpec{
+		Platform:  platform.ZEC12,
+		Benchmark: "kmeans-low",
+		Threads:   2,
+		Scale:     stamp.ScaleTest,
+		Repeats:   2,
+		TraceDir:  dir,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for rep := 0; rep < 2; rep++ {
+		n, err := obs.ValidateFile(filepath.Join(dir, spec.withDefaults().traceName(rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	// Each begin and each commit is one event; aborts add more.
+	if want := int(res.Engine.Begins + res.Engine.Commits); total < want {
+		t.Errorf("trace files hold %d events, want >= %d (begins+commits)", total, want)
+	}
+}
+
+// TestTraceNamesSeparateVariants pins the collision fix: specs that share a
+// label (the variant is not part of it) must still write distinct files.
+func TestTraceNamesSeparateVariants(t *testing.T) {
+	a := RunSpec{Platform: platform.ZEC12, Benchmark: "genome", Threads: 4, Variant: stamp.Original}
+	b := a
+	b.Variant = stamp.Modified
+	if a.Label() != b.Label() {
+		t.Fatalf("labels differ (%q vs %q); test premise broken", a.Label(), b.Label())
+	}
+	if a.traceName(0) == b.traceName(0) {
+		t.Errorf("variants map to the same trace file %q; concurrent cells would corrupt it", a.traceName(0))
+	}
+	if a.traceName(0) == a.traceName(1) {
+		t.Error("repeats map to the same trace file")
+	}
+	if !strings.Contains(a.traceName(0), "genome-z12-t4") {
+		t.Errorf("trace name %q lost the human-readable label", a.traceName(0))
+	}
+}
+
+func TestRunSpecJSONOmitsTraceDir(t *testing.T) {
+	b, err := json.Marshal(RunSpec{TraceDir: "/tmp/somewhere"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "somewhere") || strings.Contains(string(b), "TraceDir") {
+		t.Errorf("RunSpec JSON leaks TraceDir (cache-key contamination): %s", b)
 	}
 }

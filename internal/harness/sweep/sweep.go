@@ -25,6 +25,7 @@ import (
 
 	"htmcmp/internal/cache"
 	"htmcmp/internal/harness"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 	"htmcmp/internal/trace"
@@ -73,6 +74,9 @@ type Cell struct {
 	Platform platform.Kind `json:"platform,omitempty"`
 	Scale    stamp.Scale   `json:"scale,omitempty"`
 	Seed     uint64        `json:"seed,omitempty"`
+	// TraceDir is injected by the scheduler after the cache key is
+	// computed; excluded from JSON so it never affects cache identity.
+	TraceDir string `json:"-"`
 }
 
 // Key returns the cell's content address under ResultsVersion.
@@ -123,6 +127,16 @@ type Config struct {
 	Timeout time.Duration
 	// Progress, when non-nil, receives live progress/ETA lines.
 	Progress io.Writer
+	// TraceDir, when non-empty, writes per-cell JSONL event files for
+	// every cell computed in this process. Cache hits execute nothing and
+	// produce no files; the directory is injected into cells only after
+	// their cache keys are computed, so tracing never perturbs identity.
+	TraceDir string
+	// Metrics receives live counters (cells_done, cells_cached,
+	// cells_computed, cells_failed, tx_begins, tx_commits, tx_aborts)
+	// as cells complete; the progress line reads them. New allocates one
+	// when nil.
+	Metrics *obs.Metrics
 }
 
 // Summary reports what a Prewarm pass did.
@@ -173,8 +187,14 @@ func New(cfg Config) *Scheduler {
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
 	return &Scheduler{cfg: cfg, memo: map[string]outcome{}}
 }
+
+// Metrics returns the scheduler's live counter set.
+func (s *Scheduler) Metrics() *obs.Metrics { return s.cfg.Metrics }
 
 // cellRunner is the signature of the runCellHook test seam.
 type cellRunner func(Cell) (harness.Result, trace.Footprint, error)
@@ -199,7 +219,8 @@ func runCell(c Cell) outcome {
 		tr, err := harness.Tune(c.Spec)
 		return outcome{res: tr.Result, err: err}
 	case Footprint:
-		fp, err := trace.Collect(c.Bench, c.Platform, trace.Options{Scale: c.Scale, Seed: c.Seed})
+		fp, err := trace.Collect(c.Bench, c.Platform,
+			trace.Options{Scale: c.Scale, Seed: c.Seed, TraceDir: c.TraceDir})
 		return outcome{fp: fp, err: err}
 	}
 	return outcome{err: fmt.Errorf("sweep: unknown cell kind %d", int(c.Kind))}
@@ -261,6 +282,10 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 		}
 	}
 	if !cached {
+		if s.cfg.TraceDir != "" {
+			c.TraceDir = s.cfg.TraceDir
+			c.Spec.TraceDir = s.cfg.TraceDir
+		}
 		o = s.execCell(c)
 		if o.err == nil && s.cfg.Cache != nil {
 			rec := record{Cell: c}
@@ -277,6 +302,21 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 				s.progressf("sweep: warning: %v", err)
 			}
 		}
+	}
+
+	m := s.cfg.Metrics
+	m.Add("cells_done", 1)
+	if cached {
+		m.Add("cells_cached", 1)
+	} else {
+		m.Add("cells_computed", 1)
+	}
+	if o.err != nil {
+		m.Add("cells_failed", 1)
+	} else if c.Kind != Footprint {
+		m.Add("tx_begins", o.res.Engine.Begins)
+		m.Add("tx_commits", o.res.Engine.Commits)
+		m.Add("tx_aborts", o.res.Engine.Aborts)
 	}
 
 	s.mu.Lock()
@@ -322,6 +362,11 @@ func (s *Scheduler) emitProgressLocked(c Cell, cached bool) {
 		perCell := time.Since(s.start) / time.Duration(s.computed)
 		eta := perCell * time.Duration(s.total-s.done)
 		line += fmt.Sprintf(" eta=%s", eta.Round(time.Second))
+	}
+	// The live counters also feed the line, so a watcher sees simulated
+	// transaction volume without waiting for the summary.
+	if aborts := s.cfg.Metrics.Get("tx_aborts"); aborts > 0 {
+		line += fmt.Sprintf(" aborts=%d", aborts)
 	}
 	line += " last=" + c.Label()
 	if cached {

@@ -304,3 +304,69 @@ func TestPlanTune(t *testing.T) {
 		t.Error("tuned and untuned cells share a cache key")
 	}
 }
+
+// TestMetricsAndTraceDir exercises the observability hooks: the scheduler
+// counts cells and transactions in its live metrics, writes per-cell event
+// files when TraceDir is set, and cells served from cache leave no files.
+func TestMetricsAndTraceDir(t *testing.T) {
+	cells := testCells()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s := New(Config{Jobs: 2, Cache: store, Resume: true, TraceDir: dir})
+	sum := s.Prewarm(cells)
+	if sum.Failed != 0 {
+		t.Fatalf("summary = %s", sum)
+	}
+
+	m := s.Metrics()
+	if got := m.Get("cells_done"); got != uint64(len(cells)) {
+		t.Errorf("cells_done = %d, want %d", got, len(cells))
+	}
+	if got := m.Get("cells_computed"); got != uint64(len(cells)) {
+		t.Errorf("cells_computed = %d, want %d", got, len(cells))
+	}
+	if m.Get("tx_commits") == 0 || m.Get("tx_begins") == 0 {
+		t.Errorf("transaction counters stayed zero: %v", m.Snapshot())
+	}
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("TraceDir is empty after a computed sweep")
+	}
+
+	// A resumed sweep serves every cell from cache: no new trace files,
+	// cached counter advances.
+	dir2 := t.TempDir()
+	s2 := New(Config{Jobs: 2, Cache: store, Resume: true, TraceDir: dir2})
+	if sum2 := s2.Prewarm(cells); sum2.Cached != len(cells) {
+		t.Fatalf("resumed summary = %s", sum2)
+	}
+	if got := s2.Metrics().Get("cells_cached"); got != uint64(len(cells)) {
+		t.Errorf("cells_cached = %d, want %d", got, len(cells))
+	}
+	if names2, _ := os.ReadDir(dir2); len(names2) != 0 {
+		t.Errorf("cache hits wrote %d trace files, want none", len(names2))
+	}
+}
+
+func TestCellJSONOmitsTraceDir(t *testing.T) {
+	c := Cell{Kind: Measure, TraceDir: "/tmp/x"}
+	k1, err := c.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.TraceDir = ""
+	k2, err := c.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("TraceDir changes the cache key; traced and untraced sweeps would not share a cache")
+	}
+}

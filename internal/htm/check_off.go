@@ -1,0 +1,8 @@
+//go:build !racecheck
+
+package htm
+
+// debugChecks gates assertions that are too expensive (or too strict) for
+// production simulation runs. Enable them with -tags racecheck, the same tag
+// CI's race job builds with (see `make race`).
+const debugChecks = false

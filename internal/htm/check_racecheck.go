@@ -1,0 +1,7 @@
+//go:build racecheck
+
+package htm
+
+// debugChecks enables the engine's debug assertions (e.g. the Engine.Stats
+// quiescence check). Built with -tags racecheck.
+const debugChecks = true

@@ -1,0 +1,40 @@
+//go:build racecheck
+
+package htm
+
+import (
+	"testing"
+
+	"htmcmp/internal/platform"
+)
+
+// TestStatsAssertsQuiescence pins the racecheck-build footgun guard: Stats
+// reads owner-written per-thread counters without synchronisation, so
+// calling it with a transaction in flight must panic under -tags racecheck
+// (and is a silent data race without it — poll Aborts instead).
+func TestStatsAssertsQuiescence(t *testing.T) {
+	e := newTestEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+
+	ok, _ := th.TryTx(TxNormal, func() {
+		th.Store64(a, 1)
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("Stats did not panic with a transaction in flight")
+			}
+		}()
+		e.Stats()
+	})
+	if !ok {
+		t.Fatal("transaction aborted")
+	}
+
+	// Quiescent again: Stats must work, and Aborts is always safe.
+	if st := e.Stats(); st.Commits != 1 {
+		t.Errorf("Commits = %d, want 1", st.Commits)
+	}
+	if e.Aborts() != 0 {
+		t.Errorf("Aborts() = %d, want 0", e.Aborts())
+	}
+}

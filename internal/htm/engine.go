@@ -33,9 +33,17 @@ import (
 	"sync/atomic"
 
 	"htmcmp/internal/mem"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/prng"
 )
+
+// obs carries abort reasons as raw uint8 codes (it must not import this
+// package); registering the namer here gives every program linking the
+// engine symbolic reason names in event sinks.
+func init() {
+	obs.SetReasonNamer(func(code uint8) string { return Reason(code).String() })
+}
 
 // maxThreads is the maximum number of Threads per Engine, bounded by the
 // 256-bit reader sets in the line table. The largest paper configuration is
@@ -139,6 +147,14 @@ type Config struct {
 	// must be thread-safe; internal/trace uses it single-threaded to
 	// collect the Figure 10/11 transaction-size distributions.
 	FootprintSampler func(readLines, writeLines int)
+	// Tracer, when set, receives one obs.Event per transaction boundary
+	// (begin/commit/abort) in each thread's lock-free ring. Disabled (nil)
+	// it costs one nil check per boundary and nothing on the per-access
+	// path; enabled it never advances virtual time, so simulated results
+	// are identical traced and untraced (pinned by internal/tm's golden
+	// determinism test). Threads whose slot exceeds Tracer.Threads() record
+	// nothing.
+	Tracer *obs.Tracer
 	// Virtual enables the deterministic virtual-time scheduler: one
 	// thread runs at a time, costs advance per-thread virtual clocks, and
 	// the scheduler always resumes the minimum-clock thread. This makes
@@ -199,6 +215,10 @@ type Engine struct {
 
 	threads []*Thread
 
+	// traced caches cfg.Tracer != nil for the conflict paths that tag the
+	// victim's doomLine/doomBy attribution fields.
+	traced bool
+
 	loadCapLines  int
 	storeCapLines int
 }
@@ -240,6 +260,7 @@ func New(spec *platform.Spec, cfg Config) *Engine {
 	if cfg.Virtual {
 		e.sched = newVsched(cfg.Quantum, cfg.Threads)
 	}
+	e.traced = cfg.Tracer != nil
 	e.threads = make([]*Thread, cfg.Threads)
 	for i := range e.threads {
 		e.threads[i] = newThread(e, i)
@@ -312,8 +333,17 @@ func (e *Engine) smtDivisor(core int) int {
 
 // Stats aggregates the per-thread statistics. Call it only while the
 // engine's threads are quiescent (per-thread counters are owner-written and
-// unsynchronised); to poll progress while threads run, use Aborts.
+// unsynchronised, so reading them mid-run is a data race and may return torn
+// values). To poll progress while threads are running, use Aborts, which is
+// backed by a dedicated atomic and safe for concurrent use. Builds with
+// -tags racecheck assert the quiescence requirement and panic on violation.
 func (e *Engine) Stats() Stats {
+	if debugChecks {
+		if n := e.activeTx.Load(); n != 0 {
+			panic(fmt.Sprintf("htm: Stats called with %d transactions in flight; "+
+				"Stats is quiescent-only — poll Aborts() instead", n))
+		}
+	}
 	var total Stats
 	for _, t := range e.threads {
 		total.add(&t.stats)
@@ -350,6 +380,18 @@ func (e *Engine) ResetClocks() {
 	for _, t := range e.threads {
 		t.vclock = 0
 	}
+}
+
+// SchedHandoffs returns how many times the virtual scheduler elected a new
+// baton holder (0 in real-concurrency mode) — a cheap proxy for how finely
+// the run interleaved. Call while threads are quiescent.
+func (e *Engine) SchedHandoffs() uint64 {
+	if e.sched == nil {
+		return 0
+	}
+	e.sched.mu.Lock()
+	defer e.sched.mu.Unlock()
+	return e.sched.handoffs
 }
 
 // MaxClock returns the largest virtual clock across threads — the duration

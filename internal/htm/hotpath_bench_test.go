@@ -19,6 +19,7 @@ import (
 
 	"htmcmp/internal/harness"
 	"htmcmp/internal/htm"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 )
@@ -80,6 +81,70 @@ func BenchmarkHotpathTxLoad8(b *testing.B)   { benchTxLoads(b, true, 8) }
 func BenchmarkHotpathTxLoad64(b *testing.B)  { benchTxLoads(b, true, 64) }
 func BenchmarkHotpathTxStore8(b *testing.B)  { benchTxStores(b, true, 8) }
 func BenchmarkHotpathTxStore64(b *testing.B) { benchTxStores(b, true, 64) }
+
+// Traced counterparts: same work with an obs tracer attached. Events are
+// recorded only at transaction boundaries, so the per-access numbers should
+// be indistinguishable from the untraced runs; the <2% disabled-path
+// contract is the untraced benchmarks staying on their BENCH_hotpath.json
+// baselines (enforced by cmd/benchjson -gate in CI).
+func BenchmarkHotpathTxLoad8Traced(b *testing.B)  { benchTxLoadsTraced(b, 8) }
+func BenchmarkHotpathTxStore8Traced(b *testing.B) { benchTxStoresTraced(b, 8) }
+
+func tracedEngine() (*htm.Engine, *htm.Thread) {
+	e := htm.New(platform.New(platform.IntelCore), htm.Config{
+		Threads: 1, SpaceSize: 1 << 20, Seed: 99, Virtual: true,
+		CostScale: 1, DisablePrefetch: true,
+		Tracer: obs.NewTracer(1, obs.DefaultRingEvents),
+	})
+	th := e.Thread(0)
+	th.Register()
+	th.BeginWork()
+	return e, th
+}
+
+func benchTxLoadsTraced(b *testing.B, lines int) {
+	e, th := tracedEngine()
+	defer th.ExitWork()
+	a := th.Alloc(lines * e.LineSize())
+	stride := uint64(e.LineSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lines {
+		th.TryTx(htm.TxNormal, func() {
+			for j := 0; j < lines; j++ {
+				_ = th.Load64(a + uint64(j)*stride)
+			}
+		})
+	}
+}
+
+func benchTxStoresTraced(b *testing.B, lines int) {
+	e, th := tracedEngine()
+	defer th.ExitWork()
+	a := th.Alloc(lines * e.LineSize())
+	stride := uint64(e.LineSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lines {
+		th.TryTx(htm.TxNormal, func() {
+			for j := 0; j < lines; j++ {
+				th.Store64(a+uint64(j)*stride, uint64(i+j))
+			}
+		})
+	}
+}
+
+// BenchmarkHotpathCommitTraced is BenchmarkHotpathCommit with tracing on:
+// the cost of two ring records (begin + commit) per transaction.
+func BenchmarkHotpathCommitTraced(b *testing.B) {
+	_, th := tracedEngine()
+	defer th.ExitWork()
+	a := th.Alloc(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.TryTx(htm.TxNormal, func() {
+			th.Store64(a, th.Load64(a)+1)
+		})
+	}
+}
 
 // Real-concurrency counterparts: the locked line-table path must stay
 // correct (it runs under -race in CI) but is allowed to be slower.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"htmcmp/internal/mem"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/prng"
 )
@@ -92,7 +93,25 @@ type Thread struct {
 	stats        Stats
 	// abortCount mirrors stats.Aborts behind an atomic so Engine.Aborts can
 	// be polled while threads are running (Stats itself is quiescent-only).
-	abortCount     atomic.Uint64
+	abortCount atomic.Uint64
+
+	// Event-tracing state (internal/obs). trace is this slot's ring, nil
+	// when tracing is off — the only thing the disabled path ever checks.
+	// Events are recorded at transaction boundaries exclusively; none of
+	// this is touched on the per-access path. beginClock/retryDepth are
+	// owner-only. doomLine/doomBy are the abort-attribution tags an aborter
+	// writes (doomTagged) before dooming this thread; atomics because in
+	// real-concurrency mode the aborter races the victim's begin reset.
+	// pendingLine/pendingBy ride alongside pendingAbort from the abort site
+	// to rollback's event record.
+	trace       *obs.Ring
+	beginClock  uint64
+	retryDepth  uint16
+	doomLine    atomic.Uint32
+	doomBy      atomic.Int32
+	pendingLine uint32
+	pendingBy   int16
+
 	loadCostPerOp  int
 	storeCostPerOp int
 	beginCost      int
@@ -111,6 +130,9 @@ func newThread(e *Engine, slot int) *Thread {
 		gate:    make(chan struct{}, 1),
 		virtual: e.sched != nil,
 		specID:  -1,
+	}
+	if e.cfg.Tracer != nil {
+		t.trace = e.cfg.Tracer.Ring(slot)
 	}
 	t.rs.init()
 	t.ws.init()
@@ -341,6 +363,18 @@ func (t *Thread) begin(kind TxKind) {
 	t.accessCount = 0
 	t.pendingAbort = Abort{}
 	t.doomReason.Store(int32(ReasonNone))
+	if t.trace != nil {
+		// Clear stale attribution tags before becoming doomable, record the
+		// begin, and remember the clock for the commit/abort Dur. Recording
+		// charges no virtual time: tracing must not perturb the simulation.
+		t.doomLine.Store(obs.NoLine)
+		t.doomBy.Store(-1)
+		t.beginClock = t.vclock
+		t.trace.Record(obs.Event{
+			Kind: obs.KindBegin, Thread: uint8(t.slot), Retry: t.retryDepth,
+			Aborter: obs.NoThread, Line: obs.NoLine, VClock: t.vclock,
+		})
+	}
 	t.status.Store(statusActive)
 	t.eng.cores[t.core].activeTx.Add(1)
 	t.eng.activeTx.Add(1)
@@ -353,7 +387,7 @@ func (t *Thread) begin(kind TxKind) {
 func (t *Thread) commit() {
 	if !t.status.CompareAndSwap(statusActive, statusCommitting) {
 		// Doomed between the last access and commit.
-		t.abortNow(Reason(t.doomReason.Load()), false)
+		t.abortDoomed(Reason(t.doomReason.Load()))
 	}
 	// Publish written lines one at a time under their shard locks (elided
 	// in virtual mode: only the baton holder touches the line table). Eager
@@ -388,6 +422,16 @@ func (t *Thread) commit() {
 	if s := t.eng.cfg.FootprintSampler; s != nil {
 		s(t.readsCounted, t.ws.size())
 	}
+	if t.trace != nil {
+		// Before finishTx resets the access sets: footprints are still live.
+		t.trace.Record(obs.Event{
+			Kind: obs.KindCommit, Thread: uint8(t.slot), Retry: t.retryDepth,
+			Aborter: obs.NoThread, Line: obs.NoLine,
+			ReadLines: uint32(t.readsCounted), WriteLines: uint32(t.ws.size()),
+			VClock: t.vclock, Dur: t.vclock - t.beginClock,
+		})
+		t.retryDepth = 0
+	}
 	t.finishTx()
 	t.stats.Commits++
 	// Deferred frees become visible only now that the transaction is
@@ -403,6 +447,18 @@ func (t *Thread) commit() {
 
 // rollback discards buffered state after an abort.
 func (t *Thread) rollback() {
+	if t.trace != nil {
+		t.trace.Record(obs.Event{
+			Kind: obs.KindAbort, Thread: uint8(t.slot),
+			Reason: uint8(t.pendingAbort.Reason), Retry: t.retryDepth,
+			Aborter: t.pendingBy, Line: t.pendingLine,
+			ReadLines: uint32(t.readsCounted), WriteLines: uint32(t.ws.size()),
+			VClock: t.vclock, Dur: t.vclock - t.beginClock,
+		})
+		if t.retryDepth < ^uint16(0) {
+			t.retryDepth++
+		}
+	}
 	for _, line := range t.writeOrder {
 		buf, _ := t.ws.get(line)
 		sh := t.lockLine(line)
@@ -463,8 +519,24 @@ func (t *Thread) finishTx() {
 
 // abortNow records the abort and unwinds to the begin point.
 func (t *Thread) abortNow(reason Reason, persistent bool) {
+	t.abortAt(reason, persistent, obs.NoLine, obs.NoThread)
+}
+
+// abortAt is abortNow carrying the conflicting line and the dooming thread
+// for abort attribution (obs.NoLine / obs.NoThread when inapplicable).
+func (t *Thread) abortAt(reason Reason, persistent bool, line uint32, by int16) {
 	t.pendingAbort = Abort{Reason: reason, Persistent: persistent}
+	t.pendingLine, t.pendingBy = line, by
 	panic(abortSignal{})
+}
+
+// abortDoomed takes the abort for a transaction another thread doomed,
+// picking up the attribution tags that thread left via doomTagged.
+func (t *Thread) abortDoomed(reason Reason) {
+	if t.trace != nil {
+		t.abortAt(reason, false, t.doomLine.Load(), int16(t.doomBy.Load()))
+	}
+	t.abortNow(reason, false)
 }
 
 // Abort explicitly aborts the current transaction — the tabort instruction
@@ -485,14 +557,28 @@ func (t *Thread) checkDoomed() {
 		if r == ReasonNone {
 			r = ReasonConflict
 		}
-		t.abortNow(r, false)
+		t.abortDoomed(r)
 	}
 }
 
-// doomAt is doom with the conflicting line reported to the sampler.
+// doomAt is doomTagged with the conflicting line reported to the sampler.
 func (t *Thread) doomAt(line uint32, victim int32, reason Reason) bool {
 	if s := t.eng.cfg.ConflictSampler; s != nil {
 		s(line, int(victim))
+	}
+	return t.doomTagged(line, victim, reason)
+}
+
+// doomTagged is doom with the conflicting line and this (aborting) thread
+// recorded on the victim for abort attribution. The tags are written before
+// the doom so the victim cannot observe the doomed status without them; a
+// tag left on a victim that turned out to be immune is overwritten or
+// cleared at its next begin.
+func (t *Thread) doomTagged(line uint32, victim int32, reason Reason) bool {
+	if t.eng.traced {
+		v := t.eng.threads[victim]
+		v.doomLine.Store(line)
+		v.doomBy.Store(int32(t.slot))
 	}
 	return t.doom(victim, reason)
 }
@@ -570,14 +656,14 @@ func unlockLine(sh *padMutex) {
 func (t *Thread) resolveAsReader(line uint32, counted bool) {
 	sh := t.lockLine(line)
 	rec := &t.eng.lines[line]
-	if rec.writer >= 0 && rec.writer != int32(t.slot) {
+	if w := rec.writer; w >= 0 && w != int32(t.slot) {
 		if t.eng.cfg.ResponderWins && !t.hardened {
 			unlockLine(sh)
-			t.abortNow(ReasonConflict, false)
+			t.abortAt(ReasonConflict, false, line, int16(w))
 		}
-		if !t.doomAt(line, rec.writer, ReasonConflict) {
+		if !t.doomAt(line, w, ReasonConflict) {
 			unlockLine(sh)
-			t.abortNow(ReasonCommitterConflict, false)
+			t.abortAt(ReasonCommitterConflict, false, line, int16(w))
 		}
 		rec.writer = -1
 	}
@@ -596,14 +682,14 @@ func (t *Thread) resolveAsReader(line uint32, counted bool) {
 func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
 	sh := t.lockLine(line)
 	rec := &t.eng.lines[line]
-	if rec.writer >= 0 && rec.writer != int32(t.slot) {
+	if w := rec.writer; w >= 0 && w != int32(t.slot) {
 		if t.eng.cfg.ResponderWins && !t.hardened {
 			unlockLine(sh)
-			t.abortNow(ReasonConflict, false)
+			t.abortAt(ReasonConflict, false, line, int16(w))
 		}
-		if !t.doomAt(line, rec.writer, ReasonConflict) {
+		if !t.doomAt(line, w, ReasonConflict) {
 			unlockLine(sh)
-			t.abortNow(ReasonCommitterConflict, false)
+			t.abortAt(ReasonCommitterConflict, false, line, int16(w))
 		}
 		rec.writer = -1
 	}
@@ -617,11 +703,11 @@ func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
 			}
 			if t.eng.cfg.ResponderWins && !t.hardened {
 				unlockLine(sh)
-				t.abortNow(ReasonConflict, false)
+				t.abortAt(ReasonConflict, false, line, int16(slot))
 			}
 			if !t.doomAt(line, slot, ReasonConflict) {
 				unlockLine(sh)
-				t.abortNow(ReasonCommitterConflict, false)
+				t.abortAt(ReasonCommitterConflict, false, line, int16(slot))
 			}
 			rec.readers[w] &^= bit
 		}
@@ -738,7 +824,7 @@ func (t *Thread) maybePrefetch(line uint32) {
 		sh := t.lockLine(next)
 		rec := &t.eng.lines[next]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
-			if !t.doom(rec.writer, ReasonConflict) {
+			if !t.doomTagged(next, rec.writer, ReasonConflict) {
 				unlockLine(sh)
 				return // drop the prefetch; the owner is committing
 			}
@@ -902,7 +988,7 @@ func (t *Thread) nonTxLoad(a mem.Addr, n int) []byte {
 		sh := t.lockLine(line)
 		rec := &t.eng.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
-			if !t.doom(rec.writer, ReasonNonTxConflict) {
+			if !t.doomTagged(line, rec.writer, ReasonNonTxConflict) {
 				unlockLine(sh)
 				t.Pause(2) // owner is committing; wait it out
 				continue
@@ -944,7 +1030,7 @@ func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 		sh := t.lockLine(line)
 		rec := &t.eng.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
-			if !t.doom(rec.writer, ReasonNonTxConflict) {
+			if !t.doomTagged(line, rec.writer, ReasonNonTxConflict) {
 				unlockLine(sh)
 				t.Pause(2) // owner is committing; wait it out
 				continue
@@ -959,7 +1045,7 @@ func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 				if slot == int32(t.slot) {
 					continue
 				}
-				if t.doom(slot, ReasonNonTxConflict) {
+				if t.doomTagged(line, slot, ReasonNonTxConflict) {
 					rec.readers[w] &^= bit
 				}
 			}
@@ -1129,7 +1215,7 @@ func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
 		sh := t.lockLine(line)
 		rec := &t.eng.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
-			if !t.doom(rec.writer, ReasonNonTxConflict) {
+			if !t.doomTagged(line, rec.writer, ReasonNonTxConflict) {
 				unlockLine(sh)
 				t.Pause(2) // owner is committing; wait it out
 				continue
@@ -1144,7 +1230,7 @@ func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
 				if slot == int32(t.slot) {
 					continue
 				}
-				if t.doom(slot, ReasonNonTxConflict) {
+				if t.doomTagged(line, slot, ReasonNonTxConflict) {
 					rec.readers[w] &^= bit
 				}
 			}

@@ -42,6 +42,8 @@ type vsched struct {
 	// that makes the schedule independent of goroutine launch order (and
 	// therefore deterministic).
 	pending int
+	// handoffs counts baton elections (Engine.SchedHandoffs).
+	handoffs uint64
 }
 
 type schedStatus int
@@ -178,6 +180,7 @@ func (s *vsched) electLocked() *Thread {
 	if best != nil {
 		s.status[best.slot] = schedRunning
 		s.running = best.slot
+		s.handoffs++
 	}
 	return best
 }

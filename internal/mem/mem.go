@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -50,6 +51,20 @@ type Space struct {
 	// Without this, transactions that allocate get adjacent blocks and
 	// conflict falsely on every allocation.
 	arenas map[int]*arena
+
+	// regions are the labelled address ranges (Label/RegionAt), sorted by
+	// start address on first lookup (regionsDirty). Setup-time only;
+	// observability tooling reads them to name abort-attribution hot spots
+	// symbolically.
+	regions      []region
+	regionsDirty bool
+}
+
+// region is one labelled address range [start, start+size).
+type region struct {
+	start uint64
+	size  uint64
+	name  string
 }
 
 // arenaChunk is the size of the region an arena carves from the global
@@ -222,6 +237,46 @@ func (s *Space) FreeArena(a Addr, arenaID int) {
 		s.arenas[arenaID] = ar
 	}
 	ar.free[cls] = append(ar.free[cls], a)
+}
+
+// Label names the address range [a, a+size) for diagnostics. Workload
+// constructors label their shared structures at setup time so that
+// observability tooling (internal/obs abort attribution) can report
+// conflicting cache lines as "stamp/intruder/fragmap" instead of a raw
+// address. Labels are informational only: they do not affect allocation or
+// conflict detection. Overlapping labels resolve to the innermost one (the
+// covering region with the greatest start address; ties go to the most
+// recently added). Call during single-threaded setup.
+func (s *Space) Label(a Addr, size int, name string) {
+	if size <= 0 || name == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regions = append(s.regions, region{start: a, size: uint64(size), name: name})
+	s.regionsDirty = true
+}
+
+// RegionAt returns the label covering address a, or "" when a falls in no
+// labelled region. Safe for concurrent use once setup is done.
+func (s *Space) RegionAt(a Addr) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.regionsDirty {
+		sort.SliceStable(s.regions, func(i, j int) bool {
+			return s.regions[i].start < s.regions[j].start
+		})
+		s.regionsDirty = false
+	}
+	// First region starting after a; candidates are the ones before it.
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].start > a })
+	for j := i - 1; j >= 0; j-- {
+		r := s.regions[j]
+		if a < r.start+r.size {
+			return r.name
+		}
+	}
+	return ""
 }
 
 // BlockSize returns the rounded size of the live allocation at a, or 0 if a

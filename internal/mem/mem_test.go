@@ -169,3 +169,46 @@ func TestRoundSizeClasses(t *testing.T) {
 		}
 	}
 }
+
+func TestLabelAndRegionAt(t *testing.T) {
+	s := NewSpace(1 << 12)
+	if got := s.RegionAt(100); got != "" {
+		t.Fatalf("RegionAt on unlabelled space = %q, want empty", got)
+	}
+	s.Label(64, 64, "tm/global-lock")
+	s.Label(256, 1024, "stamp/points")
+	s.Label(512, 64, "stamp/hot-cluster") // nested inside stamp/points
+
+	cases := []struct {
+		addr Addr
+		want string
+	}{
+		{0, ""},
+		{64, "tm/global-lock"},
+		{127, "tm/global-lock"},
+		{128, ""},
+		{256, "stamp/points"},
+		{511, "stamp/points"},
+		{512, "stamp/hot-cluster"},
+		{575, "stamp/hot-cluster"},
+		{576, "stamp/points"},
+		{1279, "stamp/points"},
+		{1280, ""},
+	}
+	for _, c := range cases {
+		if got := s.RegionAt(c.addr); got != c.want {
+			t.Errorf("RegionAt(%d) = %q, want %q", c.addr, got, c.want)
+		}
+	}
+	// Labels added after a lookup are picked up (lazy re-sort).
+	s.Label(8, 8, "late")
+	if got := s.RegionAt(8); got != "late" {
+		t.Errorf("RegionAt(8) after late label = %q, want %q", got, "late")
+	}
+	// Degenerate labels are ignored.
+	s.Label(2048, 0, "empty")
+	s.Label(2048, 8, "")
+	if got := s.RegionAt(2048); got != "" {
+		t.Errorf("RegionAt(2048) = %q, want empty (degenerate labels ignored)", got)
+	}
+}

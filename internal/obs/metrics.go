@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is an expvar-style registry of named atomic counters: cheap to
+// bump from worker goroutines, cheap to snapshot from a progress loop. The
+// sweep scheduler publishes cells_done / cells_cached / tx_aborts etc. here
+// and the live progress line and METRICS.json read them back.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*atomic.Uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]*atomic.Uint64)}
+}
+
+// Counter returns the counter registered under name, creating it at zero on
+// first use. The returned pointer is stable; callers may cache it and bump
+// with Add without further map lookups.
+func (m *Metrics) Counter(name string) *atomic.Uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = new(atomic.Uint64)
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add bumps the named counter by delta (registering it if needed).
+func (m *Metrics) Add(name string, delta uint64) {
+	m.Counter(name).Add(delta)
+}
+
+// Get returns the current value of the named counter (0 if never touched).
+func (m *Metrics) Get(name string) uint64 {
+	m.mu.Lock()
+	c := m.counters[name]
+	m.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// Snapshot returns a point-in-time copy of all counters.
+func (m *Metrics) Snapshot() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.counters))
+	for name, c := range m.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// WriteJSON writes the counters as a JSON object (encoding/json emits map
+// keys sorted, so output is deterministic).
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultRingEvents is the default per-thread ring capacity. At 40 bytes
+// per event this is ~2.6 MB per thread — enough for the full event stream
+// of a sim-scale benchmark run without drops.
+const DefaultRingEvents = 1 << 16
+
+// Ring is a single-producer lock-free ring buffer of Events. The owning
+// thread records with one slot write and one atomic head store; when the
+// ring fills, the oldest events are overwritten (and counted as dropped) so
+// recording never blocks and never allocates.
+//
+// Counters (Recorded, Dropped) may be read concurrently with the producer.
+// Events (the slot snapshot) is only well-defined once the producer is
+// quiescent — the drain-after-run model every sink in this package uses.
+type Ring struct {
+	buf  []Event
+	mask uint64
+	head atomic.Uint64 // total events ever recorded
+	_    [40]byte      // keep neighbouring rings off one cache line
+}
+
+func newRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingEvents
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]Event, n), mask: uint64(n - 1)}
+}
+
+// Record appends ev. Single producer only (the owning engine thread).
+func (r *Ring) Record(ev Event) {
+	h := r.head.Load()
+	r.buf[h&r.mask] = ev
+	// The release store publishes the slot write to concurrent counter
+	// readers; the single-producer contract makes the slot itself safe.
+	r.head.Store(h + 1)
+}
+
+// Cap returns the ring capacity in events.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Recorded returns the total number of events ever recorded, including
+// overwritten ones. Safe to call while the producer runs.
+func (r *Ring) Recorded() uint64 { return r.head.Load() }
+
+// Dropped returns how many events have been overwritten. Safe to call while
+// the producer runs.
+func (r *Ring) Dropped() uint64 {
+	if h := r.head.Load(); h > uint64(len(r.buf)) {
+		return h - uint64(len(r.buf))
+	}
+	return 0
+}
+
+// Events returns the retained events, oldest first. Call only while the
+// producer is quiescent.
+func (r *Ring) Events() []Event {
+	h := r.head.Load()
+	n := h
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	out := make([]Event, 0, n)
+	for i := h - n; i < h; i++ {
+		out = append(out, r.buf[i&r.mask])
+	}
+	return out
+}
+
+// Reset discards all recorded events (e.g. between a warm-up and a measured
+// phase). Call only while the producer is quiescent.
+func (r *Ring) Reset() { r.head.Store(0) }
+
+// Tracer is a set of per-thread rings, one per engine thread slot. Attach
+// one to an engine with htm.Config.Tracer; threads whose slot has no ring
+// (slot >= Threads()) simply record nothing.
+type Tracer struct {
+	rings []*Ring
+}
+
+// NewTracer builds a tracer with one ring of perThread events for each of
+// threads slots. perThread <= 0 selects DefaultRingEvents.
+func NewTracer(threads, perThread int) *Tracer {
+	t := &Tracer{rings: make([]*Ring, threads)}
+	for i := range t.rings {
+		t.rings[i] = newRing(perThread)
+	}
+	return t
+}
+
+// Threads returns the number of per-thread rings.
+func (t *Tracer) Threads() int { return len(t.rings) }
+
+// Ring returns the ring for a thread slot, or nil when the slot is out of
+// range (that thread records nothing).
+func (t *Tracer) Ring(slot int) *Ring {
+	if slot < 0 || slot >= len(t.rings) {
+		return nil
+	}
+	return t.rings[slot]
+}
+
+// Recorded returns the total events recorded across all rings.
+func (t *Tracer) Recorded() uint64 {
+	var n uint64
+	for _, r := range t.rings {
+		n += r.Recorded()
+	}
+	return n
+}
+
+// Dropped returns the total events lost to ring overwrites across threads.
+func (t *Tracer) Dropped() uint64 {
+	var n uint64
+	for _, r := range t.rings {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// Reset discards every ring's events. Call only while producers are
+// quiescent.
+func (t *Tracer) Reset() {
+	for _, r := range t.rings {
+		r.Reset()
+	}
+}
+
+// Events merges all rings into one stream ordered by (VClock, Thread,
+// per-thread record order). Call only while producers are quiescent.
+func (t *Tracer) Events() []Event {
+	var out []Event
+	for _, r := range t.rings {
+		out = append(out, r.Events()...)
+	}
+	// Per-ring order is already chronological (a thread's clock never goes
+	// backwards), so a stable sort on (VClock, Thread) yields a total order
+	// that preserves each thread's sequence.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].VClock != out[j].VClock {
+			return out[i].VClock < out[j].VClock
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	return out
+}

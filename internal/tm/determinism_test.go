@@ -27,6 +27,7 @@ import (
 	"testing"
 
 	"htmcmp/internal/htm"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/tm"
 )
@@ -44,12 +45,14 @@ type goldenRow struct {
 	txStores uint64
 }
 
-// goldenRun executes the fixed workload and returns the measured row.
-func goldenRun(kind platform.Kind, threads int) goldenRow {
+// goldenRun executes the fixed workload and returns the measured row; a
+// non-nil tracer is attached to the engine (tracing must not perturb the
+// row — see TestTracingPreservesDeterminism).
+func goldenRun(kind platform.Kind, threads int, tracer *obs.Tracer) goldenRow {
 	spec := platform.New(kind)
 	e := htm.New(spec, htm.Config{
 		Threads: threads, SpaceSize: 8 << 20, Seed: 20250806, Virtual: true,
-		CostScale: 1,
+		CostScale: 1, Tracer: tracer,
 	})
 	lock := tm.NewGlobalLock(e)
 	setup := e.Thread(0)
@@ -125,7 +128,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	if *goldenPrint {
 		for _, kind := range []platform.Kind{platform.BlueGeneQ, platform.ZEC12, platform.IntelCore, platform.POWER8} {
 			for _, n := range []int{2, 4} {
-				g := goldenRun(kind, n)
+				g := goldenRun(kind, n, nil)
 				fmt.Printf("\t{kind: platform.%v, threads: %d, maxClock: %d, begins: %d, commits: %d, aborts: %d, txLoads: %d, txStores: %d},\n",
 					kindName(g.kind), g.threads, g.maxClock, g.begins, g.commits, g.aborts, g.txLoads, g.txStores)
 			}
@@ -139,9 +142,52 @@ func TestGoldenDeterminism(t *testing.T) {
 		want := want
 		t.Run(fmt.Sprintf("%s-%dt", want.kind.Short(), want.threads), func(t *testing.T) {
 			t.Parallel()
-			got := goldenRun(want.kind, want.threads)
+			got := goldenRun(want.kind, want.threads, nil)
 			if got != want {
 				t.Errorf("virtual-time results diverge from the seed engine\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestTracingPreservesDeterminism pins the observability contract: attaching
+// an event tracer records at transaction boundaries only and never advances
+// virtual time, so a traced fixed-seed run must land on the exact golden row
+// of the untraced engine — and the trace itself must agree with the engine's
+// own counters.
+func TestTracingPreservesDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden workload is not short")
+	}
+	for _, want := range golden {
+		want := want
+		if want.threads != 4 {
+			continue // 4-thread rows have the richest conflict mix
+		}
+		t.Run(fmt.Sprintf("%s-%dt-traced", want.kind.Short(), want.threads), func(t *testing.T) {
+			t.Parallel()
+			tracer := obs.NewTracer(want.threads, obs.DefaultRingEvents)
+			got := goldenRun(want.kind, want.threads, tracer)
+			if got != want {
+				t.Errorf("tracing perturbed the virtual-time results\n got: %+v\nwant: %+v", got, want)
+			}
+			if tracer.Dropped() != 0 {
+				t.Fatalf("ring dropped %d events; counts below would be meaningless", tracer.Dropped())
+			}
+			var begins, commits, aborts uint64
+			for _, ev := range tracer.Events() {
+				switch ev.Kind {
+				case obs.KindBegin:
+					begins++
+				case obs.KindCommit:
+					commits++
+				case obs.KindAbort:
+					aborts++
+				}
+			}
+			if begins != want.begins || commits != want.commits || aborts != want.aborts {
+				t.Errorf("trace counts begins=%d commits=%d aborts=%d diverge from engine stats %d/%d/%d",
+					begins, commits, aborts, want.begins, want.commits, want.aborts)
 			}
 		})
 	}

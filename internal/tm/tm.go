@@ -30,6 +30,7 @@ func NewGlobalLock(e *htm.Engine) *GlobalLock {
 	// The lock word owns a full conflict-detection line so that lock
 	// subscription never falsely conflicts with program data.
 	a := e.Space().AllocAligned(e.LineSize(), e.LineSize())
+	e.Space().Label(a, e.LineSize(), "tm/global-lock")
 	return &GlobalLock{addr: a}
 }
 

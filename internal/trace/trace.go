@@ -8,9 +8,11 @@
 package trace
 
 import (
+	"path/filepath"
 	"sync"
 
 	"htmcmp/internal/htm"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 	"htmcmp/internal/stats"
@@ -54,6 +56,10 @@ type Options struct {
 	// Exec, when non-nil, executes collections (sweep scheduling /
 	// caching); nil collects inline.
 	Exec Collector `json:"-"`
+	// TraceDir, when non-empty, attaches an event tracer to the run and
+	// writes a per-pair JSONL event file <bench>-<platform>.jsonl into it.
+	// Excluded from JSON so sweep cache keys are unaffected by tracing.
+	TraceDir string `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -74,12 +80,17 @@ func Collect(bench string, k platform.Kind, opts Options) (Footprint, error) {
 	opts = opts.withDefaults()
 	var mu sync.Mutex
 	var loads, stores []int
+	var tracer *obs.Tracer
+	if opts.TraceDir != "" {
+		tracer = obs.NewTracer(1, obs.DefaultRingEvents)
+	}
 	e := htm.New(platform.New(k), htm.Config{
 		Threads:   1,
 		SpaceSize: 96 << 20,
 		Seed:      opts.Seed,
 		CostScale: 0,
 		Virtual:   true,
+		Tracer:    tracer,
 		// The paper's trace tool measured transaction sizes without any
 		// capacity limit, then compared them against each platform's
 		// budget; we do the same.
@@ -117,6 +128,12 @@ func Collect(bench string, k platform.Kind, opts Options) (Footprint, error) {
 	}
 	fp.ExceedsLoadCap = fp.P90LoadKB > float64(spec.LoadCapacity)/1024
 	fp.ExceedsStoreCap = fp.P90StoreKB > float64(spec.StoreCapacity)/1024
+	if tracer != nil {
+		path := filepath.Join(opts.TraceDir, bench+"-"+k.Short()+".jsonl")
+		if err := obs.WriteJSONLFile(path, tracer.Events()); err != nil {
+			return Footprint{}, err
+		}
+	}
 	return fp, nil
 }
 

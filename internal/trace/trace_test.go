@@ -1,7 +1,13 @@
 package trace
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"htmcmp/internal/obs"
 
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
@@ -85,5 +91,61 @@ func TestCollectAllDispatchesThroughExec(t *testing.T) {
 	}
 	if fps[0].Benchmark != stamp.Names()[0] {
 		t.Errorf("results out of order: first is %s", fps[0].Benchmark)
+	}
+}
+
+// failingCollector errors on the nth dispatched pair.
+type failingCollector struct {
+	calls  int
+	failAt int
+}
+
+func (f *failingCollector) Collect(bench string, k platform.Kind, opts Options) (Footprint, error) {
+	f.calls++
+	if f.calls == f.failAt {
+		return Footprint{}, errors.New("cell exploded")
+	}
+	return Footprint{Benchmark: bench, Platform: k}, nil
+}
+
+func TestCollectAllPropagatesExecError(t *testing.T) {
+	fc := &failingCollector{failAt: 3}
+	fps, err := CollectAll(Options{Exec: fc})
+	if err == nil || !strings.Contains(err.Error(), "cell exploded") {
+		t.Fatalf("err = %v, want the collector's error", err)
+	}
+	if fps != nil {
+		t.Errorf("got partial results alongside an error: %d entries", len(fps))
+	}
+	if fc.calls != 3 {
+		t.Errorf("dispatched %d pairs after failure, want dispatch to stop at 3", fc.calls)
+	}
+}
+
+func TestCollectWritesEventTrace(t *testing.T) {
+	dir := t.TempDir()
+	fp, err := Collect("kmeans-low", platform.ZEC12, Options{Scale: stamp.ScaleTest, TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "kmeans-low-"+platform.ZEC12.Short()+".jsonl")
+	n, err := obs.ValidateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every committed transaction contributes at least a begin and a commit.
+	if n < 2*fp.Transactions {
+		t.Errorf("trace holds %d events for %d transactions, want >= %d", n, fp.Transactions, 2*fp.Transactions)
+	}
+}
+
+func TestCollectTraceDirErrorPropagates(t *testing.T) {
+	// A file in place of the directory makes the JSONL write fail.
+	dir := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect("kmeans-low", platform.ZEC12, Options{Scale: stamp.ScaleTest, TraceDir: dir}); err == nil {
+		t.Error("unwritable trace dir did not error")
 	}
 }

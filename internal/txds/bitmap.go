@@ -25,6 +25,9 @@ func NewBitmap(t *htm.Thread, nBits int) Bitmap {
 	words := (nBits + 63) / 64
 	h := t.Alloc(bmHdrWords * w)
 	data := t.Alloc(words * w)
+	sp := t.Engine().Space()
+	sp.Label(h, bmHdrWords*w, "txds/bitmap-hdr")
+	sp.Label(data, words*w, "txds/bitmap-data")
 	storeField(t, h, bmBits, uint64(nBits))
 	storeField(t, h, bmData, data)
 	return Bitmap{base: h}

@@ -35,6 +35,9 @@ func NewHashtable(t *htm.Thread, nBuckets int) Hashtable {
 	}
 	h := t.Alloc(htHdrWords * w)
 	arr := t.AllocAligned(nBuckets*w, t.Engine().LineSize())
+	sp := t.Engine().Space()
+	sp.Label(h, htHdrWords*w, "txds/hashtable-hdr")
+	sp.Label(arr, nBuckets*w, "txds/hashtable-buckets")
 	for i := 0; i < nBuckets; i++ {
 		t.Store64(arr+uint64(i)*w, mem.Nil)
 	}

@@ -33,6 +33,9 @@ func NewHeap(t *htm.Thread, capacity int) Heap {
 	}
 	h := t.AllocAligned(hdrBytes, line)
 	arr := t.Alloc((capacity + 1) * 2 * w)
+	sp := t.Engine().Space()
+	sp.Label(h, hdrBytes, "txds/heap-hdr")
+	sp.Label(arr, (capacity+1)*2*w, "txds/heap-array")
 	storeField(t, h, hpSize, 0)
 	storeField(t, h, hpCapacity, uint64(capacity))
 	storeField(t, h, hpArray, arr)

@@ -22,6 +22,8 @@ const (
 
 // NewList allocates an empty list.
 func NewList(t *htm.Thread) List {
+	// Not labelled: workloads (intruder, vacation) create lists inside
+	// transactions, and the region registry is setup-time only.
 	h := t.Alloc(w) // header holds only next
 	t.Store64(h, mem.Nil)
 	return List{base: h}

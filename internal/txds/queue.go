@@ -37,6 +37,9 @@ func NewQueue(t *htm.Thread, capacity int) Queue {
 	}
 	h := t.AllocAligned(hdrBytes, line)
 	arr := t.Alloc(capacity * w)
+	sp := t.Engine().Space()
+	sp.Label(h, hdrBytes, "txds/queue-hdr")
+	sp.Label(arr, capacity*w, "txds/queue-array")
 	storeField(t, h, qPop, uint64(capacity-1))
 	storeField(t, h, qPush, 0)
 	storeField(t, h, qCapacity, uint64(capacity))

@@ -42,6 +42,8 @@ const (
 
 // NewRBTree allocates an empty tree.
 func NewRBTree(t *htm.Thread) RBTree {
+	// Not labelled: intruder's modified variant creates trees inside
+	// transactions, and the region registry is setup-time only.
 	h := t.Alloc(rbHdrWords * w)
 	nilN := t.Alloc(rbNodeWords * w)
 	storeField(t, nilN, rbColor, black)

@@ -25,6 +25,9 @@ func NewVector(t *htm.Thread, capacity int) Vector {
 	}
 	h := t.Alloc(vecHdrWords * w)
 	arr := t.Alloc(capacity * w)
+	sp := t.Engine().Space()
+	sp.Label(h, vecHdrWords*w, "txds/vector-hdr")
+	sp.Label(arr, capacity*w, "txds/vector-array")
 	storeField(t, h, vecSize, 0)
 	storeField(t, h, vecCapacity, uint64(capacity))
 	storeField(t, h, vecArray, arr)
