@@ -10,7 +10,10 @@ JOBS    ?= 4
 # BENCH_hotpath.json, so only a gross slowdown should fail the build.
 GATE    ?= 200
 
-.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke trace-smoke clean
+# FUZZTIME is the per-target budget for fuzz-smoke.
+FUZZTIME ?= 30s
+
+.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke trace-smoke fuzz-smoke cover clean
 
 build:
 	$(GO) build ./...
@@ -106,6 +109,32 @@ trace-smoke: build
 	@grep -q '"cells_computed"' $(SMOKE)/METRICS.json || { \
 		echo "METRICS.json missing counters:"; cat $(SMOKE)/METRICS.json; exit 1; }
 	@echo "trace-smoke ok: event report, Chrome trace, per-cell JSONL and METRICS.json all validate"
+
+# fuzz-smoke runs each native fuzz target for $(FUZZTIME) of coverage-guided
+# input generation (generated transactional programs differentially checked
+# against STM and a global lock, with witness-log replay), then proves the
+# oracle actually fires: a build with -tags mutate_isolation seeds a
+# write-set-isolation bug in the engine that the mutation tests must catch.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -run '^$$' -fuzz '^FuzzProgramHTM$$' -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -run '^$$' -fuzz '^FuzzRealConcurrency$$' -fuzztime $(FUZZTIME) ./internal/verify
+	$(GO) test -tags mutate_isolation -run '^TestMutation' -count=1 ./internal/verify
+	@echo "fuzz-smoke ok: all fuzz targets ran clean and the seeded mutation was caught"
+
+# cover gates statement coverage of the engine and its verification oracle
+# against the checked-in floor (COVERAGE.floor, whole percent). The tm and
+# harness suites run too because they drive much of internal/htm.
+cover:
+	mkdir -p $(SMOKE)
+	$(GO) test -count=1 -coverprofile=$(SMOKE)/cover.out \
+		-coverpkg=./internal/htm,./internal/verify \
+		./internal/htm ./internal/verify ./internal/tm
+	@total=$$($(GO) tool cover -func=$(SMOKE)/cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	floor=$$(cat COVERAGE.floor); \
+	echo "coverage: $$total% (floor: $$floor%)"; \
+	awk -v t=$$total -v f=$$floor 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
+		echo "coverage $$total% fell below the checked-in floor $$floor%"; exit 1; }
 
 clean:
 	rm -rf $(BIN) $(SMOKE) .htmcache

@@ -7,7 +7,7 @@
 //
 //	htmbench -exp fig2 [-scale sim] [-repeats 2] [-tune] [-csv] [-v]
 //	         [-jobs N] [-cache-dir .htmcache] [-no-cache] [-resume=false]
-//	         [-trace-dir DIR] [-metrics FILE]
+//	         [-trace-dir DIR] [-metrics FILE] [-verify]
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
 // fig11, prefetch (the Section 5.1 ablation), or all.
@@ -53,6 +53,7 @@ func main() {
 	cellTimeout := flag.Duration("cell-timeout", 30*time.Minute, "per-cell wall-clock budget (0 = unbounded)")
 	progress := flag.Bool("progress", true, "print live sweep progress/ETA to stderr")
 	traceDir := flag.String("trace-dir", "", "write per-cell JSONL transaction-event files into this directory (implies -resume=false: cached cells execute nothing)")
+	verify := flag.Bool("verify", false, "cross-check every planned cell under {HTM, NOrec STM, global lock} before measuring; exit non-zero on divergence")
 	metricsPath := flag.String("metrics", "", "write sweep-level counters as JSON to this file (METRICS.json style)")
 	flag.Parse()
 
@@ -85,13 +86,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "htmbench: %v\n", err)
 			os.Exit(1)
 		}
-		if *resume {
-			// Cache hits never execute a simulation, so they would leave
-			// holes in the trace set; force recomputation.
-			fmt.Fprintln(os.Stderr, "htmbench: -trace-dir forces -resume=false (cached cells produce no events)")
-			*resume = false
-		}
 	}
+	*resume = reconcileTraceResume(*traceDir, *resume, os.Stderr)
 
 	var store *cache.Store
 	if !*noCache {
@@ -130,6 +126,18 @@ func main() {
 		}
 	}
 
+	// Verification pass (optional): every distinct measured configuration
+	// is re-run under the differential runner modes before any time is
+	// spent on the sweep proper.
+	if *verify {
+		if n, err := verifyCells(plan.Cells(), os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: %v\n", err)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "htmbench: verified %d cells\n", n)
+		}
+	}
+
 	// Execution pass: the worker pool computes (or loads) every cell.
 	sum := sched.Prewarm(plan.Cells())
 
@@ -151,6 +159,42 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
 	writeMetrics(*metricsPath, sched)
+}
+
+// verifyCells runs harness.Verify over the distinct measured configurations
+// among cells (footprint-collection cells have nothing to verify), logging
+// per-cell progress to w, and returns how many were verified. The first
+// divergence aborts the pass: a broken engine makes the sweep worthless.
+func verifyCells(cells []sweep.Cell, w io.Writer) (int, error) {
+	seen := map[string]bool{}
+	n := 0
+	for _, c := range cells {
+		if c.Kind == sweep.Footprint || c.Spec.Benchmark == "" {
+			continue
+		}
+		if seen[c.Spec.Label()] {
+			continue
+		}
+		seen[c.Spec.Label()] = true
+		fmt.Fprintf(w, "htmbench: verify %s\n", c.Spec.Label())
+		if err := harness.Verify(c.Spec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// reconcileTraceResume applies the -trace-dir / -resume flag interaction:
+// cache hits never execute a simulation, so they would leave holes in the
+// trace set — a non-empty trace dir therefore forces recomputation,
+// warning on w. It returns the effective resume value.
+func reconcileTraceResume(traceDir string, resume bool, w io.Writer) bool {
+	if traceDir == "" || !resume {
+		return resume
+	}
+	fmt.Fprintln(w, "htmbench: -trace-dir forces -resume=false (cached cells produce no events)")
+	return false
 }
 
 // writeMetrics dumps the scheduler's live counters to path (no-op when

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"testing"
+
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+)
+
+// TestVerifyCells cross-checks representative experiment cells — the
+// differential contract must hold for real STAMP workloads, not just
+// generated programs (internal/verify covers those).
+func TestVerifyCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmark executions")
+	}
+	cases := []struct {
+		bench string
+		kind  platform.Kind
+	}{
+		{"ssca2", platform.BlueGeneQ},
+		{"kmeans-low", platform.IntelCore},
+		{"genome", platform.POWER8},
+		{"vacation-low", platform.ZEC12},
+		// yada declares stamp.DynamicWork (cascade-spawned triangles make
+		// Units interleaving-dependent); Verify must rely on Validate alone
+		// rather than reject the legitimate unit-count divergence.
+		{"yada", platform.BlueGeneQ},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.bench+"/"+tc.kind.Short(), func(t *testing.T) {
+			t.Parallel()
+			err := Verify(RunSpec{
+				Platform: tc.kind, Benchmark: tc.bench, Threads: 4,
+				Scale: stamp.ScaleTest, Seed: 42,
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestVerifySTMAndHLEModes pins the mode selection: an STM cell verifies
+// against the lock only, and an HLE cell adds the elision runner.
+func TestVerifySTMAndHLEModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmark executions")
+	}
+	stmSpec := RunSpec{
+		Platform: platform.IntelCore, Benchmark: "ssca2", Threads: 2,
+		Scale: stamp.ScaleTest, Seed: 42, UseSTM: true,
+	}
+	if err := Verify(stmSpec); err != nil {
+		t.Errorf("STM cell: %v", err)
+	}
+	hleSpec := RunSpec{
+		Platform: platform.IntelCore, Benchmark: "ssca2", Threads: 2,
+		Scale: stamp.ScaleTest, Seed: 42, UseHLE: true,
+	}
+	if err := Verify(hleSpec); err != nil {
+		t.Errorf("HLE cell: %v", err)
+	}
+}

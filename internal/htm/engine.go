@@ -155,6 +155,15 @@ type Config struct {
 	// determinism test). Threads whose slot exceeds Tracer.Threads() record
 	// nothing.
 	Tracer *obs.Tracer
+	// Witness, when set, records the commit-order witness log consumed by
+	// the verify.Replay serializability oracle: each committed
+	// transaction's read set (line, version, value hash) and write set
+	// (published line images) plus its commit vclock, and every
+	// strongly-isolated non-transactional store. Disabled (nil) it costs
+	// one nil check per transactional load and per commit; enabled it
+	// never advances virtual time, so witnessed runs are cycle-identical
+	// to unwitnessed ones. See witness.go for scope and limitations.
+	Witness *Witness
 	// Virtual enables the deterministic virtual-time scheduler: one
 	// thread runs at a time, costs advance per-thread virtual clocks, and
 	// the scheduler always resumes the minimum-clock thread. This makes
@@ -261,6 +270,9 @@ func New(spec *platform.Spec, cfg Config) *Engine {
 		e.sched = newVsched(cfg.Quantum, cfg.Threads)
 	}
 	e.traced = cfg.Tracer != nil
+	if cfg.Witness != nil {
+		cfg.Witness.attach(e)
+	}
 	e.threads = make([]*Thread, cfg.Threads)
 	for i := range e.threads {
 		e.threads[i] = newThread(e, i)

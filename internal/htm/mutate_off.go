@@ -1,0 +1,13 @@
+//go:build !mutate_isolation
+
+package htm
+
+// mutateWriteThrough enables the seeded write-set-isolation bug used by the
+// verification mutation smoke test (internal/verify): transactional stores
+// write the shared arena directly instead of the private line buffer, so
+// concurrent threads observe speculative state, aborted stores are never
+// rolled back, and commit reverts the written lines to their pre-store
+// images. Off in normal builds; `go test -tags mutate_isolation` turns it
+// on to prove the serializability oracle actually fails when the engine is
+// wrong.
+const mutateWriteThrough = false

@@ -1,0 +1,8 @@
+//go:build mutate_isolation
+
+package htm
+
+// Mutation build: break write-set isolation (see mutate_off.go). Only the
+// internal/verify mutation smoke test builds with this tag; it asserts that
+// verify.Replay and verify.Differential both report the bug.
+const mutateWriteThrough = true

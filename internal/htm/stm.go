@@ -190,6 +190,11 @@ func (t *Thread) stmCommit() {
 		v, _ := st.writes.get(a)
 		binary.LittleEndian.PutUint64(data[a:], v)
 	}
+	if t.wit != nil {
+		// While the sequence lock is held: writer commits are totally
+		// ordered by it, so the witness sequence matches visibility order.
+		t.witnessSTM()
+	}
 	t.work(t.eng.scaledCost(stmCommitCost) + len(st.order))
 	t.eng.stmSeq.Store(st.snapshot + 2)
 	st.active = false

@@ -104,9 +104,20 @@ type Thread struct {
 	// real-concurrency mode the aborter races the victim's begin reset.
 	// pendingLine/pendingBy ride alongside pendingAbort from the abort site
 	// to rollback's event record.
-	trace       *obs.Ring
-	beginClock  uint64
-	retryDepth  uint16
+	trace      *obs.Ring
+	beginClock uint64
+	retryDepth uint16
+
+	// Witness-log state (witness.go). wit caches cfg.Witness: nil means
+	// recording is off and every hook is one nil check. witSeen dedupes
+	// first-reads per transaction (rs cannot serve: its counted flag is
+	// capacity bookkeeping — prefetches and read→write demotions would be
+	// missed); witReads/witWrites accumulate the current transaction's
+	// record. All owner-only.
+	wit         *Witness
+	witSeen     accessTab[uint32, bool]
+	witReads    []WitnessRead
+	witWrites   []WitnessWrite
 	doomLine    atomic.Uint32
 	doomBy      atomic.Int32
 	pendingLine uint32
@@ -133,6 +144,10 @@ func newThread(e *Engine, slot int) *Thread {
 	}
 	if e.cfg.Tracer != nil {
 		t.trace = e.cfg.Tracer.Ring(slot)
+	}
+	if e.cfg.Witness != nil {
+		t.wit = e.cfg.Witness
+		t.witSeen.init()
 	}
 	t.rs.init()
 	t.ws.init()
@@ -385,6 +400,15 @@ func (t *Thread) begin(kind TxKind) {
 // commit publishes buffered stores and releases ownership. A committing
 // transaction is immune to dooming: conflicting requesters abort instead.
 func (t *Thread) commit() {
+	// The commit sequence number is taken before the transaction becomes
+	// visibly committing: any access that observes the committing status
+	// (and therefore orders itself after this commit) is guaranteed to draw
+	// a later number. A doomed transaction wastes its number — Replay
+	// tolerates gaps.
+	var witSeq uint64
+	if t.wit != nil {
+		witSeq = t.wit.seq.Add(1)
+	}
 	if !t.status.CompareAndSwap(statusActive, statusCommitting) {
 		// Doomed between the last access and commit.
 		t.abortDoomed(Reason(t.doomReason.Load()))
@@ -407,7 +431,18 @@ func (t *Thread) commit() {
 		rec := &t.eng.lines[line]
 		rec.writer = -1
 		rec.clearReader(t.slot)
+		if t.wit != nil {
+			// Version bump under the shard lock so concurrent first-reads
+			// sample (Ver, Sum) consistently with this publication.
+			atomic.AddUint64(&t.wit.ver[line], 1)
+		}
 		unlockLine(sh)
+		if t.wit != nil {
+			t.witWrites = append(t.witWrites, WitnessWrite{
+				Addr: base, Line: line,
+				Data: append([]byte(nil), buf[:end-base]...),
+			})
+		}
 		// The buffer's contents are published; recycle it.
 		t.bufPool = append(t.bufPool, buf)
 	}
@@ -431,6 +466,9 @@ func (t *Thread) commit() {
 			VClock: t.vclock, Dur: t.vclock - t.beginClock,
 		})
 		t.retryDepth = 0
+	}
+	if t.wit != nil {
+		t.witnessCommitRecord(witSeq)
 	}
 	t.finishTx()
 	t.stats.Commits++
@@ -500,6 +538,11 @@ func (t *Thread) finishTx() {
 	}
 	if n := t.ws.size(); n > t.stats.MaxWriteLines {
 		t.stats.MaxWriteLines = n
+	}
+	if t.wit != nil {
+		t.witSeen.reset()
+		t.witReads = t.witReads[:0]
+		t.witWrites = nil // non-nil only if an abort interrupted publication (impossible)
 	}
 	t.rs.reset()
 	t.ws.reset()
@@ -883,6 +926,11 @@ func (t *Thread) txLoad(a mem.Addr, n int) []byte {
 		t.resolveAsReader(line, true)
 		t.maybePrefetch(line)
 	}
+	if t.wit != nil && t.kind != TxRollbackOnly {
+		// Rollback-only loads are untracked (no conflict detection), so
+		// their reads carry no consistency guarantee to witness.
+		t.witnessRead(line)
+	}
 	return t.readShared(a, n, line)
 }
 
@@ -934,6 +982,13 @@ func (t *Thread) txStore(a mem.Addr, n int) []byte {
 			t.readsCounted--
 		}
 		t.maybePrefetch(line)
+	}
+	if mutateWriteThrough {
+		// Seeded write-set-isolation bug (build tag mutate_isolation, see
+		// mutate_off.go): hand back the shared arena instead of the private
+		// buffer, leaking speculative stores to other threads and reverting
+		// them at commit when the stale buffer is published.
+		return t.eng.space.Data()[a : a+uint64(n)]
 	}
 	off := a & uint64(t.eng.lineSize-1)
 	return buf[off : off+uint64(n)]
@@ -1023,6 +1078,9 @@ func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 	// otherwise tear against this unsynchronised write.
 	if t.virtual && t.eng.activeTx.Load() == 0 {
 		copy(data[a:a+uint64(n)], src)
+		if t.wit != nil {
+			t.witnessNonTx(a, n)
+		}
 		return
 	}
 	line := t.lineOf(a)
@@ -1051,6 +1109,12 @@ func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 			}
 		}
 		copy(data[a:a+uint64(n)], src)
+		if t.wit != nil {
+			// Under the shard lock: the sequence number must order after
+			// any committing reader of this line that the doom loop above
+			// could not abort (see witnessNonTx).
+			t.witnessNonTx(a, n)
+		}
 		unlockLine(sh)
 		return
 	}
@@ -1240,6 +1304,9 @@ func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
 		ok := cur == old
 		if ok {
 			binary.LittleEndian.PutUint64(data[a:], new)
+			if t.wit != nil {
+				t.witnessNonTx(a, 8)
+			}
 		}
 		unlockLine(sh)
 		return ok

@@ -1,0 +1,204 @@
+package htm
+
+import (
+	"testing"
+
+	"htmcmp/internal/platform"
+)
+
+// newWitnessedEngine returns a single-purpose engine with a started witness
+// attached, plus the witness.
+func newWitnessedEngine(t *testing.T, k platform.Kind, threads int) (*Engine, *Witness) {
+	t.Helper()
+	w := NewWitness()
+	e := New(platform.New(k), Config{
+		Threads:                 threads,
+		SpaceSize:               1 << 20,
+		Seed:                    42,
+		CostScale:               0,
+		DisableCacheFetchAborts: true,
+		DisablePrefetch:         true,
+		Witness:                 w,
+	})
+	return e, w
+}
+
+// TestWitnessTxRecordContents pins the shape of a committed transaction's
+// record: one record, tx kind, a read of the loaded line at its pre-commit
+// version, and the exact published bytes for the stored line.
+func TestWitnessTxRecordContents(t *testing.T) {
+	e, w := newWitnessedEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(2 * e.LineSize())
+	b := a + uint64(e.LineSize())
+	th.Store64(a, 7)
+	w.Start()
+
+	ok, _ := th.TryTx(TxNormal, func() {
+		_ = th.Load64(a)
+		th.Store64(b, 99)
+	})
+	if !ok {
+		t.Fatal("single-threaded transaction aborted")
+	}
+
+	log := w.Log()
+	if len(log.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(log.Records))
+	}
+	r := log.Records[0]
+	if r.Kind != WitnessTx {
+		t.Fatalf("record kind = %v, want WitnessTx", r.Kind)
+	}
+	if r.Seq == 0 {
+		t.Fatal("commit seq must be > 0")
+	}
+	lineA := uint32(a >> uint(e.lineShift))
+	lineB := uint32(b >> uint(e.lineShift))
+	foundRead := false
+	for _, rd := range r.Reads {
+		if rd.Line == lineA {
+			foundRead = true
+			if rd.Ver != 0 {
+				t.Errorf("read version = %d, want 0 (first access)", rd.Ver)
+			}
+			if want := LineSum(log.Initial, lineA, log.LineSize); rd.Sum != want {
+				t.Errorf("read sum = %#x, want initial-snapshot sum %#x", rd.Sum, want)
+			}
+		}
+	}
+	if !foundRead {
+		t.Fatalf("no witnessed read of line %d in %+v", lineA, r.Reads)
+	}
+	foundWrite := false
+	for _, wr := range r.Writes {
+		if wr.Line == lineB {
+			foundWrite = true
+			if len(wr.Data) < 8 {
+				t.Fatalf("write image too short: %d bytes", len(wr.Data))
+			}
+			var v uint64
+			for i := 7; i >= 0; i-- {
+				v = v<<8 | uint64(wr.Data[int(b-wr.Addr)+i])
+			}
+			if v != 99 {
+				t.Errorf("published image decodes to %d, want 99", v)
+			}
+		}
+	}
+	if !foundWrite {
+		t.Fatalf("no witnessed write of line %d in %+v", lineB, r.Writes)
+	}
+}
+
+// TestWitnessAbortedTxLeavesNoRecord: an aborted transaction must not
+// contribute a commit record (its wasted seq number is tolerated by
+// replay), and the next committed transaction must still record.
+func TestWitnessAbortedTxLeavesNoRecord(t *testing.T) {
+	e, w := newWitnessedEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	w.Start()
+
+	ok, _ := th.TryTx(TxNormal, func() {
+		th.Store64(a, 99)
+		th.Abort()
+	})
+	if ok {
+		t.Fatal("transaction with explicit abort committed")
+	}
+	if n := len(w.Log().Records); n != 0 {
+		t.Fatalf("aborted tx left %d records, want 0", n)
+	}
+
+	if ok, _ := th.TryTx(TxNormal, func() { th.Store64(a, 1) }); !ok {
+		t.Fatal("follow-up transaction aborted")
+	}
+	log := w.Log()
+	if len(log.Records) != 1 || log.Records[0].Kind != WitnessTx {
+		t.Fatalf("follow-up commit not recorded: %+v", log.Records)
+	}
+}
+
+// TestWitnessNonTxStoreRecord: a plain store outside any transaction gets
+// its own single-write record with the stored bytes.
+func TestWitnessNonTxStoreRecord(t *testing.T) {
+	e, w := newWitnessedEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	w.Start()
+
+	th.Store64(a, 0xabcd)
+
+	log := w.Log()
+	if len(log.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(log.Records))
+	}
+	r := log.Records[0]
+	if r.Kind != WitnessNonTx {
+		t.Fatalf("record kind = %v, want WitnessNonTx", r.Kind)
+	}
+	if len(r.Reads) != 0 || len(r.Writes) != 1 {
+		t.Fatalf("non-tx record shape: %d reads / %d writes, want 0/1",
+			len(r.Reads), len(r.Writes))
+	}
+	if r.Writes[0].Addr != a || len(r.Writes[0].Data) != 8 {
+		t.Fatalf("non-tx write = addr %#x len %d, want addr %#x len 8",
+			r.Writes[0].Addr, len(r.Writes[0].Data), a)
+	}
+}
+
+// TestWitnessVersionAdvances: a committed write bumps the line version, so
+// a later transaction's read of the same line carries the new version.
+func TestWitnessVersionAdvances(t *testing.T) {
+	e, w := newWitnessedEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	w.Start()
+
+	if ok, _ := th.TryTx(TxNormal, func() { th.Store64(a, 1) }); !ok {
+		t.Fatal("writer tx aborted")
+	}
+	if ok, _ := th.TryTx(TxNormal, func() { _ = th.Load64(a) }); !ok {
+		t.Fatal("reader tx aborted")
+	}
+
+	log := w.Log()
+	if len(log.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(log.Records))
+	}
+	reader := log.Records[1]
+	line := uint32(a >> uint(e.lineShift))
+	for _, rd := range reader.Reads {
+		if rd.Line == line {
+			if rd.Ver != 1 {
+				t.Fatalf("read version after one commit = %d, want 1", rd.Ver)
+			}
+			return
+		}
+	}
+	t.Fatalf("reader tx did not witness line %d: %+v", line, reader.Reads)
+}
+
+// TestWitnessRestartResetsLog: Start() begins a fresh epoch — earlier
+// records are dropped and the initial snapshot is retaken.
+func TestWitnessRestartResetsLog(t *testing.T) {
+	e, w := newWitnessedEngine(t, platform.IntelCore, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+	w.Start()
+	th.Store64(a, 5)
+	if n := len(w.Log().Records); n != 1 {
+		t.Fatalf("first epoch: %d records, want 1", n)
+	}
+
+	w.Start()
+	log := w.Log()
+	if n := len(log.Records); n != 0 {
+		t.Fatalf("after restart: %d records, want 0", n)
+	}
+	if got := LineSum(log.Initial, uint32(a>>uint(e.lineShift)), log.LineSize); got !=
+		LineSum(log.Final, uint32(a>>uint(e.lineShift)), log.LineSize) {
+		t.Fatal("restart snapshot does not match current arena")
+	}
+}

@@ -69,6 +69,18 @@ func (r STMRunner) Atomic(body func(t *htm.Thread)) { r.X.RunSTM(body) }
 // Thread returns the underlying hardware thread.
 func (r STMRunner) Thread() *htm.Thread { return r.X.T }
 
+// LockRunner executes every critical section irrevocably under the global
+// lock — the single-global-lock baseline the differential verifier
+// (internal/verify, harness.Verify) cross-checks transactional executions
+// against.
+type LockRunner struct{ X *tm.Executor }
+
+// Atomic runs body under the global lock with no speculation.
+func (r LockRunner) Atomic(body func(t *htm.Thread)) { r.X.RunIrrevocable(body) }
+
+// Thread returns the underlying hardware thread.
+func (r LockRunner) Thread() *htm.Thread { return r.X.T }
+
 // HLERunner executes critical sections with hardware lock elision (Intel).
 type HLERunner struct{ X *tm.Executor }
 
@@ -151,6 +163,17 @@ type Benchmark interface {
 	Validate(t *htm.Thread) error
 	// Units reports completed work items (throughput denominator).
 	Units() int
+}
+
+// DynamicWork is an optional Benchmark extension for programs whose total
+// work is discovered during execution rather than fixed by the input:
+// processing one item may spawn new items, so the Units count legitimately
+// depends on the interleaving. Cross-mode verification must not require
+// equal Units for such benchmarks; Validate carries the full consistency
+// contract instead.
+type DynamicWork interface {
+	// UnitsDynamic reports that Units varies across correct executions.
+	UnitsDynamic() bool
 }
 
 // Factory creates a fresh Benchmark for a configuration.

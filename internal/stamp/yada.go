@@ -339,3 +339,10 @@ func (y *yada) Units() int {
 	defer y.mu.Unlock()
 	return y.refinements
 }
+
+// UnitsDynamic marks yada's work count as interleaving-dependent: refining
+// one cavity can spawn new bad triangles, and whether a neighbouring cavity
+// preempts a queued triangle depends on processing order. Validate checks
+// the order-independent invariant (refined + preempted = initial + spawned,
+// heap drained, mesh consistent) instead.
+func (y *yada) UnitsDynamic() bool { return true }

@@ -30,6 +30,7 @@ import (
 	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/tm"
+	"htmcmp/internal/verify"
 )
 
 var goldenPrint = flag.Bool("golden-print", false, "print measured golden rows instead of asserting")
@@ -46,13 +47,14 @@ type goldenRow struct {
 }
 
 // goldenRun executes the fixed workload and returns the measured row; a
-// non-nil tracer is attached to the engine (tracing must not perturb the
-// row — see TestTracingPreservesDeterminism).
-func goldenRun(kind platform.Kind, threads int, tracer *obs.Tracer) goldenRow {
+// non-nil tracer or witness is attached to the engine (neither may perturb
+// the row — see TestTracingPreservesDeterminism and
+// TestWitnessPreservesDeterminism).
+func goldenRun(kind platform.Kind, threads int, tracer *obs.Tracer, wit *htm.Witness) goldenRow {
 	spec := platform.New(kind)
 	e := htm.New(spec, htm.Config{
 		Threads: threads, SpaceSize: 8 << 20, Seed: 20250806, Virtual: true,
-		CostScale: 1, Tracer: tracer,
+		CostScale: 1, Tracer: tracer, Witness: wit,
 	})
 	lock := tm.NewGlobalLock(e)
 	setup := e.Thread(0)
@@ -64,6 +66,10 @@ func goldenRun(kind platform.Kind, threads int, tracer *obs.Tracer) goldenRow {
 		e.Thread(i).Register()
 	}
 	e.ResetClocks()
+	if wit != nil {
+		// Snapshot after setup allocation so the log covers the workload only.
+		wit.Start()
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {
 		wg.Add(1)
@@ -111,14 +117,22 @@ func goldenRun(kind platform.Kind, threads int, tracer *obs.Tracer) goldenRow {
 
 // golden holds the values measured on the seed engine (see file comment).
 var golden = []goldenRow{
+	{kind: platform.BlueGeneQ, threads: 1, maxClock: 64992, begins: 200, commits: 200, aborts: 0, txLoads: 1332, txStores: 612},
 	{kind: platform.BlueGeneQ, threads: 2, maxClock: 76735, begins: 430, commits: 398, aborts: 32, txLoads: 2843, txStores: 1319},
 	{kind: platform.BlueGeneQ, threads: 4, maxClock: 124663, begins: 1134, commits: 775, aborts: 359, txLoads: 7092, txStores: 3398},
+	{kind: platform.BlueGeneQ, threads: 8, maxClock: 209758, begins: 2986, commits: 1506, aborts: 1480, txLoads: 19080, txStores: 8281},
+	{kind: platform.ZEC12, threads: 1, maxClock: 17698, begins: 201, commits: 200, aborts: 1, txLoads: 1385, txStores: 664},
 	{kind: platform.ZEC12, threads: 2, maxClock: 19950, begins: 434, commits: 399, aborts: 35, txLoads: 2949, txStores: 1389},
 	{kind: platform.ZEC12, threads: 4, maxClock: 28538, begins: 1058, commits: 784, aborts: 274, txLoads: 6946, txStores: 3283},
+	{kind: platform.ZEC12, threads: 8, maxClock: 48816, begins: 2986, commits: 1528, aborts: 1458, txLoads: 21067, txStores: 8279},
+	{kind: platform.IntelCore, threads: 1, maxClock: 16560, begins: 200, commits: 200, aborts: 0, txLoads: 1355, txStores: 635},
 	{kind: platform.IntelCore, threads: 2, maxClock: 23304, begins: 508, commits: 394, aborts: 114, txLoads: 3352, txStores: 1584},
 	{kind: platform.IntelCore, threads: 4, maxClock: 33996, begins: 1309, commits: 769, aborts: 540, txLoads: 8281, txStores: 3895},
+	{kind: platform.IntelCore, threads: 8, maxClock: 59800, begins: 4144, commits: 1444, aborts: 2700, txLoads: 25777, txStores: 11310},
+	{kind: platform.POWER8, threads: 1, maxClock: 17976, begins: 200, commits: 200, aborts: 0, txLoads: 1332, txStores: 612},
 	{kind: platform.POWER8, threads: 2, maxClock: 20050, begins: 424, commits: 399, aborts: 25, txLoads: 2838, txStores: 1316},
 	{kind: platform.POWER8, threads: 4, maxClock: 32078, begins: 1146, commits: 782, aborts: 364, txLoads: 7315, txStores: 3453},
+	{kind: platform.POWER8, threads: 8, maxClock: 58432, begins: 3190, commits: 1485, aborts: 1705, txLoads: 21236, txStores: 8573},
 }
 
 func TestGoldenDeterminism(t *testing.T) {
@@ -127,8 +141,8 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if *goldenPrint {
 		for _, kind := range []platform.Kind{platform.BlueGeneQ, platform.ZEC12, platform.IntelCore, platform.POWER8} {
-			for _, n := range []int{2, 4} {
-				g := goldenRun(kind, n, nil)
+			for _, n := range []int{1, 2, 4, 8} {
+				g := goldenRun(kind, n, nil, nil)
 				fmt.Printf("\t{kind: platform.%v, threads: %d, maxClock: %d, begins: %d, commits: %d, aborts: %d, txLoads: %d, txStores: %d},\n",
 					kindName(g.kind), g.threads, g.maxClock, g.begins, g.commits, g.aborts, g.txLoads, g.txStores)
 			}
@@ -142,7 +156,7 @@ func TestGoldenDeterminism(t *testing.T) {
 		want := want
 		t.Run(fmt.Sprintf("%s-%dt", want.kind.Short(), want.threads), func(t *testing.T) {
 			t.Parallel()
-			got := goldenRun(want.kind, want.threads, nil)
+			got := goldenRun(want.kind, want.threads, nil, nil)
 			if got != want {
 				t.Errorf("virtual-time results diverge from the seed engine\n got: %+v\nwant: %+v", got, want)
 			}
@@ -167,7 +181,7 @@ func TestTracingPreservesDeterminism(t *testing.T) {
 		t.Run(fmt.Sprintf("%s-%dt-traced", want.kind.Short(), want.threads), func(t *testing.T) {
 			t.Parallel()
 			tracer := obs.NewTracer(want.threads, obs.DefaultRingEvents)
-			got := goldenRun(want.kind, want.threads, tracer)
+			got := goldenRun(want.kind, want.threads, tracer, nil)
 			if got != want {
 				t.Errorf("tracing perturbed the virtual-time results\n got: %+v\nwant: %+v", got, want)
 			}
@@ -188,6 +202,35 @@ func TestTracingPreservesDeterminism(t *testing.T) {
 			if begins != want.begins || commits != want.commits || aborts != want.aborts {
 				t.Errorf("trace counts begins=%d commits=%d aborts=%d diverge from engine stats %d/%d/%d",
 					begins, commits, aborts, want.begins, want.commits, want.aborts)
+			}
+		})
+	}
+}
+
+// TestWitnessPreservesDeterminism pins the oracle's zero-overhead contract:
+// attaching a commit-order witness records behind a nil check and charges no
+// virtual time, so a witnessed fixed-seed run must land on the exact golden
+// row of the bare engine — and the recorded log must replay serializably.
+// (The golden workload allocates only during setup, so the witness's full
+// final-state check applies.)
+func TestWitnessPreservesDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden workload is not short")
+	}
+	for _, want := range golden {
+		want := want
+		if want.threads != 4 {
+			continue // 4-thread rows have the richest conflict mix
+		}
+		t.Run(fmt.Sprintf("%s-%dt-witnessed", want.kind.Short(), want.threads), func(t *testing.T) {
+			t.Parallel()
+			wit := htm.NewWitness()
+			got := goldenRun(want.kind, want.threads, nil, wit)
+			if got != want {
+				t.Errorf("witnessing perturbed the virtual-time results\n got: %+v\nwant: %+v", got, want)
+			}
+			if v := verify.Replay(wit.Log()); v != nil {
+				t.Errorf("golden workload log does not replay serializably: %v", v)
 			}
 		})
 	}

@@ -307,6 +307,13 @@ func (x *Executor) runBGQ(body func(t *htm.Thread)) {
 	}
 }
 
+// RunIrrevocable executes body directly under the global lock with no
+// speculation at all — the degenerate single-lock baseline the differential
+// checker (internal/verify) compares transactional executions against.
+func (x *Executor) RunIrrevocable(body func(t *htm.Thread)) {
+	x.runIrrevocable(body)
+}
+
 func (x *Executor) runIrrevocable(body func(t *htm.Thread)) {
 	x.Lock.Acquire(x.T)
 	body(x.T)

@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"htmcmp/internal/platform"
+)
+
+// Native Go fuzz targets. Each decodes its raw inputs into a deterministic
+// generated program, runs the oracle, and on failure shrinks the program to
+// a minimal counterexample and writes a runnable repro test before failing.
+// The check bodies are shared, error-returning functions so the mutation
+// smoke test (mutation_test.go, -tags mutate_isolation) can assert they
+// fire on a broken engine without invoking the fuzz driver.
+
+func kindFor(sel uint8) platform.Kind { return allPlatforms[int(sel)%len(allPlatforms)] }
+
+func threadsFor(sel uint8) int { return []int{1, 2, 4, 8}[int(sel)%4] }
+
+// checkDifferential is the FuzzDifferential body: full three-mode
+// differential plus witness replay, virtual mode.
+func checkDifferential(seed uint64, kind platform.Kind, threads int) error {
+	return Differential(GenProgramThreads(seed, threads), kind)
+}
+
+// checkHTMReplay is the FuzzProgramHTM body: virtual-mode HTM run under the
+// witness, replayed, and cross-checked against a lock-mode execution.
+func checkHTMReplay(seed uint64, kind platform.Kind, threads int) error {
+	p := GenProgramThreads(seed, threads)
+	res, err := p.Run(kind, ModeHTM, true, true)
+	if err != nil {
+		return err
+	}
+	if v := Replay(res.Log); v != nil {
+		return v
+	}
+	lockRes, err := p.Run(kind, ModeLock, true, false)
+	if err != nil {
+		return err
+	}
+	if res.Digest != lockRes.Digest {
+		return fmt.Errorf("%s: HTM digest %#x != lock digest %#x",
+			kind.Short(), res.Digest, lockRes.Digest)
+	}
+	return nil
+}
+
+// checkRealConcurrency is the FuzzRealConcurrency body: HTM with real
+// goroutine concurrency (sharded-lock paths), replayed and cross-checked.
+func checkRealConcurrency(seed uint64, kind platform.Kind, threads int) error {
+	p := GenProgramThreads(seed, threads)
+	res, err := p.Run(kind, ModeHTM, false, true)
+	if err != nil {
+		return err
+	}
+	if v := Replay(res.Log); v != nil {
+		return v
+	}
+	lockRes, err := p.Run(kind, ModeLock, true, false)
+	if err != nil {
+		return err
+	}
+	if res.Digest != lockRes.Digest {
+		return fmt.Errorf("%s: real-concurrency HTM digest %#x != lock digest %#x",
+			kind.Short(), res.Digest, lockRes.Digest)
+	}
+	return nil
+}
+
+// failShrunk shrinks the failing program under the full differential check
+// (it subsumes replay and digest comparison, so any engine bug the
+// individual targets catch keeps failing it) and reports the minimal
+// counterexample plus the path of an emitted runnable repro test.
+func failShrunk(t *testing.T, err error, seed uint64, kind platform.Kind, threads int) {
+	t.Helper()
+	p := GenProgramThreads(seed, threads)
+	shrunk := Shrink(p, func(q *Program) bool {
+		return Differential(q, kind) != nil
+	})
+	path := SaveRepro("Shrunk", shrunk, kind)
+	t.Fatalf("%v\nshrunk to %d threads / %d ops; repro test: %s",
+		err, shrunk.Threads, shrunk.NumOps(), path)
+}
+
+func FuzzDifferential(f *testing.F) {
+	for i := uint8(0); i < 4; i++ {
+		f.Add(uint64(i)+1, i, i)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, kindSel, threadSel uint8) {
+		kind, threads := kindFor(kindSel), threadsFor(threadSel)
+		if err := checkDifferential(seed, kind, threads); err != nil {
+			failShrunk(t, err, seed, kind, threads)
+		}
+	})
+}
+
+func FuzzProgramHTM(f *testing.F) {
+	for i := uint8(0); i < 4; i++ {
+		f.Add(uint64(i)+101, i, i)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, kindSel, threadSel uint8) {
+		kind, threads := kindFor(kindSel), threadsFor(threadSel)
+		if err := checkHTMReplay(seed, kind, threads); err != nil {
+			failShrunk(t, err, seed, kind, threads)
+		}
+	})
+}
+
+func FuzzRealConcurrency(f *testing.F) {
+	for i := uint8(0); i < 4; i++ {
+		f.Add(uint64(i)+201, i, i)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, kindSel, threadSel uint8) {
+		kind := kindFor(kindSel)
+		// Cap real-concurrency fan-out: goroutine scheduling dominates past
+		// the host's core count and slows the fuzz loop down.
+		threads := []int{1, 2, 4, 4}[int(threadSel)%4]
+		if err := checkRealConcurrency(seed, kind, threads); err != nil {
+			failShrunk(t, err, seed, kind, threads)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package verify is the correctness tooling for the HTM engine: a
+// serializability oracle over the commit-order witness log (Replay), a
+// differential checker running one workload under HTM, NOrec STM and a
+// global lock (Differential), and a deterministic transaction-program
+// fuzzer with shrinking (GenProgram, Shrink) driven by native Go fuzz
+// targets.
+package verify
+
+import (
+	"fmt"
+
+	"htmcmp/internal/htm"
+)
+
+// ViolationKind classifies what Replay found.
+type ViolationKind int
+
+const (
+	// StaleRead: a committed transaction read a line version other than the
+	// one in force at its commit point — its read is not consistent with
+	// commit order.
+	StaleRead ViolationKind = iota
+	// DirtyRead: the version matched but the bytes did not — the
+	// transaction observed state that no prefix of the commit order
+	// produces (e.g. a speculative store leaking from an uncommitted or
+	// aborted transaction).
+	DirtyRead
+	// FinalStateMismatch: replaying every record over the initial snapshot
+	// does not reproduce the arena's final contents.
+	FinalStateMismatch
+	// BadLog: the log itself is malformed (duplicate sequence numbers,
+	// missing snapshot).
+	BadLog
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case StaleRead:
+		return "stale read"
+	case DirtyRead:
+		return "dirty read"
+	case FinalStateMismatch:
+		return "final-state mismatch"
+	case BadLog:
+		return "bad log"
+	}
+	return "?"
+}
+
+// Violation is the first serializability violation Replay found. Error()
+// renders it with the offending line symbolised through mem.Space.RegionAt.
+type Violation struct {
+	Kind ViolationKind
+	// Seq/Thread/VClock identify the offending record (zero for
+	// final-state mismatches, which have no single record).
+	Seq    uint64
+	Thread int
+	VClock uint64
+	// Line is the offending conflict-detection line; Region its label.
+	Line   uint32
+	Region string
+	// WantVer/GotVer are the replayed and recorded line versions (stale
+	// reads); WantSum/GotSum the replayed and recorded value hashes.
+	WantVer, GotVer uint64
+	WantSum, GotSum uint64
+	Msg             string
+}
+
+func (v *Violation) Error() string {
+	loc := fmt.Sprintf("line %d", v.Line)
+	if v.Region != "" {
+		loc += " (" + v.Region + ")"
+	}
+	switch v.Kind {
+	case StaleRead:
+		return fmt.Sprintf("verify: stale read: tx seq=%d thread=%d vclock=%d read %s at version %d, but commit order says version %d",
+			v.Seq, v.Thread, v.VClock, loc, v.GotVer, v.WantVer)
+	case DirtyRead:
+		return fmt.Sprintf("verify: dirty read: tx seq=%d thread=%d vclock=%d read %s at version %d with contents %#x, but commit order produces %#x",
+			v.Seq, v.Thread, v.VClock, loc, v.GotVer, v.GotSum, v.WantSum)
+	case FinalStateMismatch:
+		return fmt.Sprintf("verify: final-state mismatch at %s: replaying the witness log does not reproduce the arena (%s)", loc, v.Msg)
+	case BadLog:
+		return "verify: bad witness log: " + v.Msg
+	}
+	return "verify: unknown violation"
+}
+
+// ReplayOptions tunes Replay.
+type ReplayOptions struct {
+	// SkipFinalState disables the arena-vs-replay final comparison. Needed
+	// for runs that free and re-allocate simulated memory mid-run: the
+	// arena allocator rewrites recycled blocks without a witness record.
+	// Read-consistency checking is unaffected.
+	SkipFinalState bool
+}
+
+// Replay re-executes the witness log against a fresh sequential memory and
+// reports the first transaction whose observed reads are inconsistent with
+// commit order (nil if the run was serializable). The replay applies each
+// record's writes in commit-sequence order over the initial arena snapshot,
+// maintaining per-line write-version counters exactly as the engine did;
+// each record's reads must then match the replayed version and value.
+func Replay(log htm.WitnessLog) *Violation {
+	return ReplayOpts(log, ReplayOptions{})
+}
+
+// ReplayOpts is Replay with options.
+func ReplayOpts(log htm.WitnessLog, opt ReplayOptions) *Violation {
+	if len(log.Initial) == 0 {
+		return &Violation{Kind: BadLog, Msg: "no initial snapshot (was Witness.Start called?)"}
+	}
+	m := append([]byte(nil), log.Initial...)
+	ver := make([]uint64, log.NLines)
+	var lastSeq uint64
+	for i := range log.Records {
+		rec := &log.Records[i]
+		if i > 0 && rec.Seq == lastSeq {
+			return &Violation{Kind: BadLog, Seq: rec.Seq,
+				Msg: fmt.Sprintf("duplicate commit sequence number %d", rec.Seq)}
+		}
+		lastSeq = rec.Seq
+		for _, r := range rec.Reads {
+			if ver[r.Line] != r.Ver {
+				return &Violation{
+					Kind: StaleRead, Seq: rec.Seq, Thread: rec.Thread,
+					VClock: rec.VClock, Line: r.Line, Region: regionOf(log, r.Line),
+					WantVer: ver[r.Line], GotVer: r.Ver,
+				}
+			}
+			if sum := htm.LineSum(m, r.Line, log.LineSize); sum != r.Sum {
+				return &Violation{
+					Kind: DirtyRead, Seq: rec.Seq, Thread: rec.Thread,
+					VClock: rec.VClock, Line: r.Line, Region: regionOf(log, r.Line),
+					WantVer: ver[r.Line], GotVer: r.Ver,
+					WantSum: sum, GotSum: r.Sum,
+				}
+			}
+		}
+		// Apply the writes, bumping each distinct line's version once per
+		// record — mirroring the engine, which bumps once per published
+		// line. STM records do not participate in versioning (witness.go).
+		var prevLine uint32 = ^uint32(0)
+		for _, wr := range rec.Writes {
+			copy(m[wr.Addr:wr.Addr+uint64(len(wr.Data))], wr.Data)
+			if rec.Kind != htm.WitnessSTM && wr.Line != prevLine {
+				ver[wr.Line]++
+				prevLine = wr.Line
+			}
+		}
+	}
+	if !opt.SkipFinalState {
+		if len(log.Final) != len(m) {
+			return &Violation{Kind: BadLog, Msg: "final snapshot size differs from initial"}
+		}
+		for line := 0; line < log.NLines; line++ {
+			a := htm.LineSum(m, uint32(line), log.LineSize)
+			b := htm.LineSum(log.Final, uint32(line), log.LineSize)
+			if a != b {
+				return &Violation{
+					Kind: FinalStateMismatch, Line: uint32(line),
+					Region:  regionOf(log, uint32(line)),
+					WantSum: a, GotSum: b,
+					Msg: fmt.Sprintf("replayed hash %#x, arena hash %#x", a, b),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// regionOf symbolises a line through the arena's labelled regions.
+func regionOf(log htm.WitnessLog, line uint32) string {
+	if log.Space == nil {
+		return ""
+	}
+	return log.Space.RegionAt(uint64(line) * uint64(log.LineSize))
+}

@@ -1,0 +1,248 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"htmcmp/internal/htm"
+	"htmcmp/internal/platform"
+)
+
+var allPlatforms = []platform.Kind{
+	platform.BlueGeneQ, platform.ZEC12, platform.IntelCore, platform.POWER8,
+}
+
+// TestGenProgramDeterministic pins the generator: the same seed must yield
+// an identical program and an identical virtual-mode execution.
+func TestGenProgramDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		a, b := GenProgram(seed), GenProgram(seed)
+		if a.Threads != b.Threads || a.NumOps() != b.NumOps() {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+		ra, err := a.Run(platform.IntelCore, ModeHTM, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Run(platform.IntelCore, ModeHTM, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Digest != rb.Digest || ra.Stats != rb.Stats {
+			t.Fatalf("seed %d: virtual run not deterministic", seed)
+		}
+	}
+}
+
+// TestDifferentialMatrix is the tentpole end-to-end check: generated
+// programs on all four platform models × {1,2,4,8} threads, virtual mode —
+// HTM, STM and lock executions must agree and the HTM/lock witness logs
+// must replay serializably.
+func TestDifferentialMatrix(t *testing.T) {
+	for _, kind := range allPlatforms {
+		for _, threads := range []int{1, 2, 4, 8} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				p := GenProgramThreads(seed+uint64(threads)<<8, threads)
+				if err := Differential(p, kind); err != nil {
+					t.Errorf("%s t=%d seed=%d: %v", kind.Short(), threads, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRealConcurrencyMatrix runs generated programs with real goroutine
+// concurrency on every platform: the witness log must replay serializably
+// and the final state must match a sequential lock-mode execution. (STM is
+// excluded: NOrec's value-based validation loads race by design and only
+// virtual mode serialises them for Go's memory model.)
+func TestRealConcurrencyMatrix(t *testing.T) {
+	for _, kind := range allPlatforms {
+		for _, threads := range []int{1, 2, 4, 8} {
+			seed := uint64(0xbeef) + uint64(threads)
+			p := GenProgramThreads(seed, threads)
+			res, err := p.Run(kind, ModeHTM, false, true)
+			if err != nil {
+				t.Fatalf("%s t=%d: %v", kind.Short(), threads, err)
+			}
+			if v := Replay(res.Log); v != nil {
+				t.Errorf("%s t=%d: %v", kind.Short(), threads, v)
+			}
+			lockRes, err := p.Run(kind, ModeLock, true, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Digest != lockRes.Digest {
+				t.Errorf("%s t=%d: real HTM digest %#x != lock digest %#x (sums %v vs %v)",
+					kind.Short(), threads, res.Digest, lockRes.Digest,
+					res.ArraySums, lockRes.ArraySums)
+			}
+		}
+	}
+}
+
+// tamperableLog runs a contended program and returns a log that contains at
+// least one transaction record with reads and writes.
+func tamperableLog(t *testing.T) htm.WitnessLog {
+	t.Helper()
+	p := GenProgramThreads(7, 4)
+	res, err := p.Run(platform.ZEC12, ModeHTM, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Replay(res.Log); v != nil {
+		t.Fatalf("clean log does not replay: %v", v)
+	}
+	return res.Log
+}
+
+// TestReplayCatchesTamperedLog unit-tests the oracle's decision procedure:
+// corrupting the log in each dimension must produce the matching violation.
+func TestReplayCatchesTamperedLog(t *testing.T) {
+	find := func(log htm.WitnessLog, want func(*htm.TxRecord) bool) int {
+		for i := range log.Records {
+			if want(&log.Records[i]) {
+				return i
+			}
+		}
+		t.Fatal("no suitable record in log")
+		return -1
+	}
+
+	t.Run("stale read", func(t *testing.T) {
+		log := tamperableLog(t)
+		i := find(log, func(r *htm.TxRecord) bool { return len(r.Reads) > 0 })
+		log.Records[i].Reads[0].Ver += 1
+		v := Replay(log)
+		if v == nil || v.Kind != StaleRead {
+			t.Fatalf("want stale-read violation, got %v", v)
+		}
+	})
+	t.Run("dirty read", func(t *testing.T) {
+		log := tamperableLog(t)
+		// Tamper a read of a workload line — not the global-lock word, which
+		// every transaction reads first — so the violation symbolises to a
+		// verify/ region.
+		ri := -1
+		i := find(log, func(r *htm.TxRecord) bool {
+			for j, rd := range r.Reads {
+				reg := log.Space.RegionAt(uint64(rd.Line) * uint64(log.LineSize))
+				if strings.HasPrefix(reg, "verify/") {
+					ri = j
+					return true
+				}
+			}
+			return false
+		})
+		log.Records[i].Reads[ri].Sum ^= 1
+		v := Replay(log)
+		if v == nil || v.Kind != DirtyRead {
+			t.Fatalf("want dirty-read violation, got %v", v)
+		}
+		if !strings.Contains(v.Error(), "verify/") {
+			t.Fatalf("violation not symbolised through RegionAt: %v", v)
+		}
+	})
+	t.Run("lost write", func(t *testing.T) {
+		log := tamperableLog(t)
+		i := find(log, func(r *htm.TxRecord) bool {
+			return r.Kind == htm.WitnessTx && len(r.Writes) > 0
+		})
+		log.Records[i].Writes[0].Data[0] ^= 0xff
+		if v := Replay(log); v == nil {
+			t.Fatal("corrupted write image not detected")
+		}
+	})
+	t.Run("duplicate seq", func(t *testing.T) {
+		log := tamperableLog(t)
+		if len(log.Records) < 2 {
+			t.Skip("log too short")
+		}
+		log.Records[1].Seq = log.Records[0].Seq
+		v := Replay(log)
+		if v == nil || v.Kind != BadLog {
+			t.Fatalf("want bad-log violation, got %v", v)
+		}
+	})
+	t.Run("missing snapshot", func(t *testing.T) {
+		log := tamperableLog(t)
+		log.Initial = nil
+		v := Replay(log)
+		if v == nil || v.Kind != BadLog {
+			t.Fatalf("want bad-log violation, got %v", v)
+		}
+	})
+}
+
+// TestShrink checks the minimiser against a synthetic predicate: it must
+// reduce a noisy program to the single responsible operation.
+func TestShrink(t *testing.T) {
+	const magic = 0xdeadbeef
+	p := GenProgramThreads(3, 4)
+	p.Txns[2] = append(p.Txns[2], Txn{Ops: []Op{
+		{Kind: OpStore, Arr: 0, Idx: 0, K: 1},
+		{Kind: OpStore, Arr: 0, Idx: 1, K: magic},
+	}})
+	failing := func(q *Program) bool {
+		for _, txs := range q.Txns {
+			for _, tx := range txs {
+				for _, op := range tx.Ops {
+					if op.K == magic {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	s := Shrink(p, failing)
+	if !failing(s) {
+		t.Fatal("shrunk program no longer fails")
+	}
+	if s.Threads != 1 || s.NumOps() != 1 {
+		t.Fatalf("shrink not minimal: threads=%d ops=%d", s.Threads, s.NumOps())
+	}
+}
+
+// TestWriteReproTest pins the reproducer format: the emitted source must be
+// a self-contained test that names the platform and the program.
+func TestWriteReproTest(t *testing.T) {
+	p := GenProgramThreads(11, 2)
+	var b strings.Builder
+	if err := WriteReproTest(&b, "Example", p, platform.POWER8); err != nil {
+		t.Fatal(err)
+	}
+	src := b.String()
+	for _, want := range []string{
+		"package verify", "func TestReproExample", "platform.POWER8",
+		"&Program{", "Txns: [][]Txn{", "Differential(p,",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("repro source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestSTMWitnessReplays covers the write-only STM record path explicitly.
+func TestSTMWitnessReplays(t *testing.T) {
+	p := GenProgramThreads(5, 4)
+	res, err := p.Run(platform.IntelCore, ModeSTM, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSTM := false
+	for _, r := range res.Log.Records {
+		if r.Kind == htm.WitnessSTM {
+			sawSTM = true
+			if len(r.Reads) != 0 {
+				t.Fatal("STM record must be write-only")
+			}
+		}
+	}
+	if !sawSTM {
+		t.Fatal("no STM commit records witnessed")
+	}
+	if v := Replay(res.Log); v != nil {
+		t.Fatalf("STM log does not replay: %v", v)
+	}
+}
