@@ -13,7 +13,7 @@ GATE    ?= 200
 # FUZZTIME is the per-target budget for fuzz-smoke.
 FUZZTIME ?= 30s
 
-.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke trace-smoke fuzz-smoke cover clean
+.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke trace-smoke fuzz-smoke cover results-sim results-sim-diff clean
 
 build:
 	$(GO) build ./...
@@ -135,6 +135,26 @@ cover:
 	echo "coverage: $$total% (floor: $$floor%)"; \
 	awk -v t=$$total -v f=$$floor 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || { \
 		echo "coverage $$total% fell below the checked-in floor $$floor%"; exit 1; }
+
+# results-sim regenerates the checked-in sim-scale results file. Run after
+# any change that intentionally shifts measured numbers, and commit the
+# result; the nightly workflow diffs against it.
+results-sim: build
+	./$(BIN)/htmbench -exp all -scale sim -repeats 2 -jobs $(JOBS) > results_sim.txt
+	@echo "results-sim: rewrote results_sim.txt"
+
+# results-sim-diff is the nightly drift gate: regenerate the sim-scale
+# results into $(SMOKE) (reusing the content-addressed .htmcache, so an
+# unchanged simulator costs almost nothing) and fail on any difference from
+# the checked-in file, leaving the diff behind for artifact upload.
+results-sim-diff: build
+	mkdir -p $(SMOKE)
+	./$(BIN)/htmbench -exp all -scale sim -repeats 2 -jobs $(JOBS) \
+		>$(SMOKE)/results_sim.txt 2>$(SMOKE)/results_sim.log
+	@if ! diff -u results_sim.txt $(SMOKE)/results_sim.txt >$(SMOKE)/results_sim.diff; then \
+		echo "results_sim.txt drifted from a fresh sim sweep:"; \
+		cat $(SMOKE)/results_sim.diff; exit 1; fi
+	@echo "results-sim-diff ok: fresh sweep matches checked-in results_sim.txt byte-for-byte"
 
 clean:
 	rm -rf $(BIN) $(SMOKE) .htmcache

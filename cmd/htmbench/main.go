@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,prefetch,stm,capacity,all")
+	exp := flag.String("exp", "all", "experiment: table1,fig2,fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,prefetch,stm,capacity,adaptive,all")
 	scaleName := flag.String("scale", "sim", "workload scale: test, sim, full")
 	repeats := flag.Int("repeats", 2, "measured runs per point (paper: 4)")
 	tune := flag.Bool("tune", false, "search retry counts per test case as the paper does (slow)")
@@ -78,7 +78,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig2+3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "prefetch", "stm", "capacity"}
+		names = []string{"table1", "fig2+3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "prefetch", "stm", "capacity", "adaptive"}
 	}
 
 	if *traceDir != "" {
@@ -317,6 +317,12 @@ func runExperiment(name string, opts harness.Options, coll trace.Collector, out 
 			}
 			emit(t)
 		}
+	case "adaptive":
+		t, err := harness.AdaptiveComparison(opts)
+		if err != nil {
+			return err
+		}
+		emit(t)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -29,6 +29,7 @@
 package htmcmp
 
 import (
+	"htmcmp/internal/adapt"
 	"htmcmp/internal/harness"
 	"htmcmp/internal/htm"
 	"htmcmp/internal/platform"
@@ -127,6 +128,30 @@ func NewExecutor(t *Thread, lock *GlobalLock, pol Policy) *Executor {
 
 // DefaultPolicy returns an untuned retry policy for a platform.
 func DefaultPolicy(k PlatformKind) Policy { return tm.DefaultPolicy(k) }
+
+// Adaptive-runtime types: the online mode controller (HTM / NOrec STM /
+// global lock per transaction site) described in DESIGN.md §6.
+type (
+	// AdaptController selects execution modes from windowed abort history.
+	// One controller is shared by all executors of a run.
+	AdaptController = adapt.Controller
+	// AdaptConfig tunes the controller's windows and thresholds; the zero
+	// value selects sane defaults.
+	AdaptConfig = adapt.Config
+	// ExecutorConfig bundles a static retry policy with an optional
+	// adaptive controller for NewExecutorConfig.
+	ExecutorConfig = tm.Config
+)
+
+// NewAdaptController builds an online mode controller.
+func NewAdaptController(cfg AdaptConfig) *AdaptController { return adapt.NewController(cfg) }
+
+// NewExecutorConfig is NewExecutor with an explicit config; attaching an
+// AdaptController routes Run through the adaptive hybrid path (virtual-time
+// engines only).
+func NewExecutorConfig(t *Thread, lock *GlobalLock, cfg ExecutorConfig) *Executor {
+	return tm.NewExecutorConfig(t, lock, cfg)
+}
 
 // STAMP benchmark types.
 type (

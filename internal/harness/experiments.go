@@ -24,7 +24,8 @@ type Exec interface {
 
 // Options configure an experiment reproduction.
 type Options struct {
-	// Scale selects the input size (default ScaleSim).
+	// Scale selects the input size. The zero value is ScaleTest; the CLI
+	// drivers default their -scale flag to sim explicitly.
 	Scale stamp.Scale
 	// Repeats per measured point (paper: 4; default 2).
 	Repeats int
@@ -51,9 +52,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
-	}
-	if o.Scale == 0 {
-		o.Scale = stamp.ScaleSim
 	}
 	return o
 }

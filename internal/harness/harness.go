@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"htmcmp/internal/adapt"
 	"htmcmp/internal/htm"
 	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
@@ -43,6 +44,11 @@ type RunSpec struct {
 	// UseSTM runs critical sections as NOrec software transactions instead
 	// of HTM (the STM-overhead comparison of the paper's introduction).
 	UseSTM bool
+	// Adaptive routes every transaction site through the online mode
+	// controller (internal/adapt) instead of the static retry policy; one
+	// controller is shared by all threads of a run. Omitted from JSON when
+	// false so existing sweep cache keys are unchanged.
+	Adaptive bool `json:",omitempty"`
 	// DisablePrefetch is the Section 5.1 hardware-prefetch ablation.
 	DisablePrefetch bool
 	// DisableSMTSharing is the Section 7 SMT ablation.
@@ -70,6 +76,8 @@ func (s RunSpec) Label() string {
 		l += "/hle"
 	case s.UseSTM:
 		l += "/stm"
+	case s.Adaptive:
+		l += "/adapt"
 	}
 	if s.DisablePrefetch {
 		l += "/nopf"
@@ -216,10 +224,16 @@ func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats,
 	b.Setup(e.Thread(0))
 	lock := tm.NewGlobalLock(e)
 	pol := s.policy()
+	var ctl *adapt.Controller
+	if s.Adaptive {
+		// One controller per run: every thread's executor feeds the same
+		// per-site windows, so demotion decisions reflect run-wide history.
+		ctl = adapt.NewController(adapt.Config{})
+	}
 	runners := make([]stamp.Runner, s.Threads)
 	execs := make([]*tm.Executor, s.Threads)
 	for i := range runners {
-		execs[i] = tm.NewExecutor(e.Thread(i), lock, pol)
+		execs[i] = tm.NewExecutorConfig(e.Thread(i), lock, tm.Config{Policy: pol, Adapt: ctl})
 		switch {
 		case s.UseSTM:
 			runners[i] = stamp.STMRunner{X: execs[i]}

@@ -72,20 +72,6 @@ type lineRec struct {
 
 func (l *lineRec) setReader(slot int)   { l.readers[slot>>6] |= 1 << (uint(slot) & 63) }
 func (l *lineRec) clearReader(slot int) { l.readers[slot>>6] &^= 1 << (uint(slot) & 63) }
-func (l *lineRec) hasReader(slot int) bool {
-	return l.readers[slot>>6]&(1<<(uint(slot)&63)) != 0
-}
-func (l *lineRec) hasOtherReader(slot int) bool {
-	for w, word := range l.readers {
-		if w == slot>>6 {
-			word &^= 1 << (uint(slot) & 63)
-		}
-		if word != 0 {
-			return true
-		}
-	}
-	return false
-}
 
 // padMutex is a mutex padded to a cache line to avoid false sharing between
 // shards of the (heavily contended) line table.
@@ -221,6 +207,15 @@ type Engine struct {
 
 	// stmSeq is the global NOrec sequence lock (see stm.go).
 	stmSeq atomic.Uint64
+
+	// hybrid arms the HTM/STM coexistence fences (hybrid.go); hybridGate is
+	// the line adaptive hardware transactions subscribe to. The gate is
+	// written before the atomic flag flips (publication order), and the
+	// mutex serialises concurrent EnableHybridSTM calls — executors may be
+	// constructed from their worker goroutines.
+	hybridMu   sync.Mutex
+	hybrid     atomic.Bool
+	hybridGate mem.Addr
 
 	threads []*Thread
 

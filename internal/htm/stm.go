@@ -195,6 +195,13 @@ func (t *Thread) stmCommit() {
 		// ordered by it, so the witness sequence matches visibility order.
 		t.witnessSTM()
 	}
+	if t.eng.hybrid.Load() {
+		// Hybrid mode (hybrid.go): the write-back above bypassed the line
+		// table, so hardware transactions reading those lines were never
+		// doomed. Every adaptive hardware transaction subscribes to the gate
+		// line; doom them all before releasing the sequence lock.
+		t.doomHybridGateReaders()
+	}
 	t.work(t.eng.scaledCost(stmCommitCost) + len(st.order))
 	t.eng.stmSeq.Store(st.snapshot + 2)
 	st.active = false

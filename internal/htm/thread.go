@@ -123,6 +123,10 @@ type Thread struct {
 	pendingLine uint32
 	pendingBy   int16
 
+	// hybridSeq is the sequence-lock value held across a hybrid writer
+	// commit's publication (hybrid.go).
+	hybridSeq uint64
+
 	loadCostPerOp  int
 	storeCostPerOp int
 	beginCost      int
@@ -409,8 +413,20 @@ func (t *Thread) commit() {
 	if t.wit != nil {
 		witSeq = t.wit.seq.Add(1)
 	}
+	// Hybrid-NOrec writer fence (hybrid.go): acquire the STM sequence lock
+	// around publication so software transactions revalidate against it.
+	// Acquired while still doomable — an STM writer holding the lock aborts
+	// this transaction through the gate instead of letting it spin into a
+	// commit of stale reads.
+	fenced := t.eng.hybrid.Load() && len(t.writeOrder) > 0
+	if fenced {
+		t.hybridSeqAcquire()
+	}
 	if !t.status.CompareAndSwap(statusActive, statusCommitting) {
 		// Doomed between the last access and commit.
+		if fenced {
+			t.hybridSeqRelease()
+		}
 		t.abortDoomed(Reason(t.doomReason.Load()))
 	}
 	// Publish written lines one at a time under their shard locks (elided
@@ -445,6 +461,9 @@ func (t *Thread) commit() {
 		}
 		// The buffer's contents are published; recycle it.
 		t.bufPool = append(t.bufPool, buf)
+	}
+	if fenced {
+		t.hybridSeqRelease()
 	}
 	for _, line := range t.readOrder {
 		if t.ws.has(line) {
@@ -558,6 +577,18 @@ func (t *Thread) finishTx() {
 		t.eng.specPool.release(t.specID)
 		t.specID = -1
 	}
+}
+
+// TraceEvent records a runtime-level event (the adaptive runtime's mode
+// switches) into this thread's trace ring, filling in the Thread and VClock
+// fields. Recording charges no virtual time; a no-op when tracing is off.
+func (t *Thread) TraceEvent(ev obs.Event) {
+	if t.trace == nil {
+		return
+	}
+	ev.Thread = uint8(t.slot)
+	ev.VClock = t.vclock
+	t.trace.Record(ev)
 }
 
 // abortNow records the abort and unwinds to the begin point.

@@ -48,6 +48,9 @@ type Report struct {
 	Begins  uint64 `json:"begins"`
 	Commits uint64 `json:"commits"`
 	Aborts  uint64 `json:"aborts"`
+	// ModeSwitches counts adaptive-runtime site transitions in the stream
+	// (0 for static-policy runs).
+	ModeSwitches uint64 `json:"mode_switches,omitempty"`
 	// Dropped is how many events the rings overwrote before aggregation
 	// (0 unless the run outgrew the ring capacity).
 	Dropped uint64 `json:"dropped,omitempty"`
@@ -113,6 +116,8 @@ func Aggregate(events []Event, opt ReportOptions) *Report {
 			if ev.Line != NoLine {
 				byLine[ev.Line]++
 			}
+		case KindModeSwitch:
+			r.ModeSwitches++
 		}
 	}
 
@@ -172,6 +177,9 @@ func (r *Report) Fprint(w io.Writer) {
 	fmt.Fprint(w, ")\n")
 	if r.Dropped > 0 {
 		fmt.Fprintf(w, "WARNING: %d events dropped (ring overflow); counts below are partial\n", r.Dropped)
+	}
+	if r.ModeSwitches > 0 {
+		fmt.Fprintf(w, "adaptive mode switches: %d\n", r.ModeSwitches)
 	}
 
 	fmt.Fprintf(w, "tx latency (vclock units): p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",

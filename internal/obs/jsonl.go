@@ -26,6 +26,10 @@ type eventJSON struct {
 	ReadLines  uint32 `json:"read_lines,omitempty"`
 	WriteLines uint32 `json:"write_lines,omitempty"`
 	Dur        uint64 `json:"dur,omitempty"`
+	// Mode-switch-only fields (adaptive runtime site transitions).
+	From string  `json:"from,omitempty"`
+	To   string  `json:"to,omitempty"`
+	Site *uint32 `json:"site,omitempty"`
 }
 
 func toJSON(ev Event) eventJSON {
@@ -49,6 +53,14 @@ func toJSON(ev Event) eventJSON {
 		if ev.Aborter != NoThread {
 			by := ev.Aborter
 			j.Aborter = &by
+		}
+	}
+	if ev.Kind == KindModeSwitch {
+		j.From = ModeName(uint8(ev.Aborter))
+		j.To = ModeName(ev.Reason)
+		if ev.Line != NoLine {
+			site := ev.Line
+			j.Site = &site
 		}
 	}
 	return j
@@ -113,8 +125,18 @@ func Validate(r io.Reader) (int, error) {
 			if j.Reason == "" {
 				return count, fmt.Errorf("line %d: abort event without a reason", lineNo)
 			}
+		case "mode":
+			if j.From == "" || j.To == "" {
+				return count, fmt.Errorf("line %d: mode event without from/to modes", lineNo)
+			}
+			if j.Reason != "" || j.Dur != 0 {
+				return count, fmt.Errorf("line %d: mode event carries commit/abort fields", lineNo)
+			}
 		default:
 			return count, fmt.Errorf("line %d: unknown event kind %q", lineNo, j.Kind)
+		}
+		if j.Kind != "mode" && (j.From != "" || j.To != "" || j.Site != nil) {
+			return count, fmt.Errorf("line %d: %s event carries mode-switch fields", lineNo, j.Kind)
 		}
 		if j.Dur > j.VClock {
 			return count, fmt.Errorf("line %d: dur %d exceeds vclock %d", lineNo, j.Dur, j.VClock)
@@ -192,6 +214,13 @@ func ReadJSONLFile(path string) ([]Event, error) {
 			if j.Aborter != nil {
 				ev.Aborter = *j.Aborter
 			}
+		case "mode":
+			ev.Kind = KindModeSwitch
+			ev.Reason = modeCode(j.To)
+			ev.Aborter = int16(modeCode(j.From))
+			if j.Site != nil {
+				ev.Line = *j.Site
+			}
 		default:
 			return nil, fmt.Errorf("%s:%d: unknown event kind %q", path, lineNo, j.Kind)
 		}
@@ -205,6 +234,16 @@ func ReadJSONLFile(path string) ([]Event, error) {
 func reasonCode(name string) uint8 {
 	for c := 0; c < 256; c++ {
 		if ReasonName(uint8(c)) == name {
+			return uint8(c)
+		}
+	}
+	return 0
+}
+
+// modeCode inverts ModeName the same way (mode vocabularies are tiny).
+func modeCode(name string) uint8 {
+	for c := 0; c < 256; c++ {
+		if ModeName(uint8(c)) == name {
 			return uint8(c)
 		}
 	}

@@ -33,6 +33,10 @@ const (
 	KindCommit
 	// KindAbort marks an abort (reason in Event.Reason).
 	KindAbort
+	// KindModeSwitch marks an adaptive-runtime steady-mode transition of a
+	// transaction site: Aborter carries the from-mode code, Reason the
+	// to-mode code (named through the mode namer), Line the site ID.
+	KindModeSwitch
 
 	numKinds
 )
@@ -46,6 +50,8 @@ func (k Kind) String() string {
 		return "commit"
 	case KindAbort:
 		return "abort"
+	case KindModeSwitch:
+		return "mode"
 	}
 	return "unknown"
 }
@@ -105,6 +111,24 @@ func SetReasonNamer(f func(code uint8) string) {
 
 // ReasonName returns the symbolic name of an abort-reason code.
 func ReasonName(code uint8) string { return reasonNamer(code) }
+
+// modeNamer maps adaptive-runtime execution-mode codes to names.
+// internal/adapt registers the real namer from its init (mirroring the
+// abort-reason namer: this package must not import the controller).
+var modeNamer = func(code uint8) string {
+	return "mode-" + itoa(int(code))
+}
+
+// SetModeNamer installs the execution-mode naming function. Called from
+// internal/adapt's init; not safe for use after goroutines start tracing.
+func SetModeNamer(f func(code uint8) string) {
+	if f != nil {
+		modeNamer = f
+	}
+}
+
+// ModeName returns the symbolic name of an execution-mode code.
+func ModeName(code uint8) string { return modeNamer(code) }
 
 // itoa is a tiny strconv.Itoa for the namer fallback (avoids importing
 // strconv into every Event user — the engine — for a cold path).

@@ -9,6 +9,7 @@ package tm
 import (
 	"sync/atomic"
 
+	"htmcmp/internal/adapt"
 	"htmcmp/internal/htm"
 	"htmcmp/internal/mem"
 	"htmcmp/internal/platform"
@@ -114,6 +115,11 @@ type Stats struct {
 	IrrevocableCommits uint64
 	Aborts             uint64
 	AbortsByCategory   [htm.NumCategories]uint64
+	// Adaptive-runtime counters (zero in static-policy runs): transactional
+	// commits split by execution mode, and steady-mode site transitions.
+	HTMCommits   uint64 `json:",omitempty"`
+	STMCommits   uint64 `json:",omitempty"`
+	ModeSwitches uint64 `json:",omitempty"`
 }
 
 // Add accumulates o into s.
@@ -124,6 +130,9 @@ func (s *Stats) Add(o *Stats) {
 	for i := range s.AbortsByCategory {
 		s.AbortsByCategory[i] += o.AbortsByCategory[i]
 	}
+	s.HTMCommits += o.HTMCommits
+	s.STMCommits += o.STMCommits
+	s.ModeSwitches += o.ModeSwitches
 }
 
 // Commits returns all committed critical sections.
@@ -205,8 +214,12 @@ type Executor struct {
 	Policy Policy
 	Stats  Stats
 
-	isBGQ bool
-	adapt bgqAdaptState
+	// Adapt, when non-nil, replaces the static retry mechanism with the
+	// online mode controller (adaptive.go). Set through NewExecutorConfig.
+	Adapt *adapt.Controller
+
+	isBGQ    bool
+	bgqState bgqAdaptState
 }
 
 // NewExecutor pairs a hardware thread with the global lock and policy.
@@ -225,6 +238,10 @@ func NewExecutor(t *htm.Thread, lock *GlobalLock, pol Policy) *Executor {
 // Thread and may run either transactionally or irrevocably under the global
 // lock; both provide atomicity and isolation.
 func (x *Executor) Run(body func(t *htm.Thread)) {
+	if x.Adapt != nil {
+		x.runAdaptive(body)
+		return
+	}
 	if x.isBGQ {
 		x.runBGQ(body)
 		return
@@ -277,7 +294,7 @@ func (x *Executor) Run(body func(t *htm.Thread)) {
 // mode), and the adaptation heuristic (Section 3).
 func (x *Executor) runBGQ(body func(t *htm.Thread)) {
 	retries := x.Policy.TransientRetry
-	if x.Policy.Adaptation && x.adapt.suppressed() {
+	if x.Policy.Adaptation && x.bgqState.suppressed() {
 		retries = 0
 	}
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -294,7 +311,7 @@ func (x *Executor) runBGQ(body func(t *htm.Thread)) {
 		if committed {
 			x.Stats.TxCommits++
 			if x.Policy.Adaptation {
-				x.adapt.record(false)
+				x.bgqState.record(false)
 			}
 			return
 		}
@@ -303,7 +320,7 @@ func (x *Executor) runBGQ(body func(t *htm.Thread)) {
 	}
 	x.runIrrevocable(body)
 	if x.Policy.Adaptation {
-		x.adapt.record(true)
+		x.bgqState.record(true)
 	}
 }
 

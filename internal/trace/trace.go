@@ -66,9 +66,6 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
-	if o.Scale == 0 {
-		o.Scale = stamp.ScaleSim
-	}
 	return o
 }
 

@@ -83,9 +83,10 @@ func TestCollectAllDispatchesThroughExec(t *testing.T) {
 		t.Fatalf("dispatched %d pairs, returned %d, want %d", len(rec.calls), len(fps), want)
 	}
 	// Options must reach the Collector normalised, so a sweep scheduler
-	// derives canonical cache keys from them.
+	// derives canonical cache keys from them. (Scale stays as given:
+	// ScaleTest is the zero value, not an unset marker.)
 	for _, o := range rec.opts {
-		if o.Seed == 0 || o.Scale == 0 {
+		if o.Seed == 0 {
 			t.Fatalf("Collector saw unnormalised options %+v", o)
 		}
 	}
