@@ -13,7 +13,7 @@ GATE    ?= 200
 # FUZZTIME is the per-target budget for fuzz-smoke.
 FUZZTIME ?= 30s
 
-.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke trace-smoke fuzz-smoke cover results-sim results-sim-diff clean
+.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke profile trace-smoke fuzz-smoke cover results-sim results-sim-diff clean
 
 build:
 	$(GO) build ./...
@@ -81,10 +81,22 @@ bench-hotpath-smoke:
 	./$(BIN)/benchjson -label smoke-1x -o $(SMOKE)/BENCH_hotpath.json \
 		<$(SMOKE)/bench-hotpath.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkHotpathTx(Load|Store)(8|64)$$$$' \
-		-benchtime=20000x -count=1 ./internal/htm | tee $(SMOKE)/bench-gate.txt
+		-benchmem -benchtime=20000x -count=1 ./internal/htm | tee $(SMOKE)/bench-gate.txt
 	./$(BIN)/benchjson -baseline BENCH_hotpath.json -gate $(GATE) \
 		-o $(SMOKE)/BENCH_gate.json <$(SMOKE)/bench-gate.txt
-	@echo "bench-hotpath-smoke ok (gate: no per-op benchmark regressed >$(GATE)%)"
+	@echo "bench-hotpath-smoke ok (gate: no per-op benchmark regressed >$(GATE)% or grew allocs/op)"
+
+# profile captures CPU and heap pprof profiles of one sweep cell (a single
+# uncached fig2+3 sweep at test scale) into $(SMOKE) for artifact upload.
+# Inspect with `go tool pprof $(SMOKE)/sweep.cpu.pprof`.
+profile: build
+	mkdir -p $(SMOKE)
+	./$(BIN)/htmbench -exp fig2+3 -scale test -jobs $(JOBS) -no-cache \
+		-cpuprofile $(SMOKE)/sweep.cpu.pprof -memprofile $(SMOKE)/sweep.heap.pprof \
+		>/dev/null 2>$(SMOKE)/profile.log
+	@test -s $(SMOKE)/sweep.cpu.pprof || { echo "empty CPU profile"; exit 1; }
+	@test -s $(SMOKE)/sweep.heap.pprof || { echo "empty heap profile"; exit 1; }
+	@echo "profile ok: wrote $(SMOKE)/sweep.cpu.pprof and $(SMOKE)/sweep.heap.pprof"
 
 # trace-smoke records an event-traced run of a small benchmark and validates
 # both export formats, then exercises the sweep-level tracing/metrics flags:

@@ -50,6 +50,10 @@ type Doc struct {
 	Current  []Result           `json:"current"`
 	Baseline []Result           `json:"baseline,omitempty"`
 	Speedup  map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	// AllocsDelta records current minus baseline allocs/op for every gated
+	// benchmark whose allocation count moved — the allocation-freeness
+	// trajectory, PR over PR, alongside the ns/op speedups.
+	AllocsDelta map[string]int64 `json:"allocs_delta_vs_baseline,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8  N  12.3 ns/op [B B/op] [A allocs/op]`.
@@ -117,6 +121,64 @@ func gateRegressions(doc Doc, pct float64) []regression {
 	return regs
 }
 
+// allocRegression describes one gated benchmark that started allocating
+// more.
+type allocRegression struct {
+	name      string
+	base, cur int64
+}
+
+// gateAllocRegressions returns the benchmarks whose allocs/op grew at all
+// versus the baseline. Allocation counts are exact (not host-noisy like
+// ns/op), so any growth is a regression: an allocation crept back onto a
+// path that had been made allocation-free. Benchmarks absent from the
+// baseline are ignored, like in gateRegressions.
+func gateAllocRegressions(doc Doc) []allocRegression {
+	base := map[string]int64{}
+	seen := map[string]bool{}
+	for _, r := range doc.Baseline {
+		base[r.Name] = r.AllocsPerOp
+		seen[r.Name] = true
+	}
+	var regs []allocRegression
+	for _, r := range doc.Current {
+		if seen[r.Name] && r.AllocsPerOp > base[r.Name] {
+			regs = append(regs, allocRegression{name: r.Name, base: base[r.Name], cur: r.AllocsPerOp})
+		}
+	}
+	return regs
+}
+
+// mergeBaseline folds a previous document into doc: its current section
+// becomes doc's baseline, and per-benchmark speedup ratios and allocs/op
+// deltas are computed for benchmarks present in both. Deltas are recorded
+// only when the count moved, so the common all-zero case emits nothing.
+func mergeBaseline(doc *Doc, prev Doc) {
+	doc.Baseline = prev.Current
+	doc.Speedup = map[string]float64{}
+	base := map[string]float64{}
+	baseAllocs := map[string]int64{}
+	inBase := map[string]bool{}
+	for _, r := range prev.Current {
+		base[r.Name] = r.NsPerOp
+		baseAllocs[r.Name] = r.AllocsPerOp
+		inBase[r.Name] = true
+	}
+	for _, r := range doc.Current {
+		if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
+			// Round to 0.01x: these are host-side numbers, two decimal
+			// places is already more precision than they repeat to.
+			doc.Speedup[r.Name] = float64(int(b/r.NsPerOp*100+0.5)) / 100
+		}
+		if inBase[r.Name] && r.AllocsPerOp != baseAllocs[r.Name] {
+			if doc.AllocsDelta == nil {
+				doc.AllocsDelta = map[string]int64{}
+			}
+			doc.AllocsDelta[r.Name] = r.AllocsPerOp - baseAllocs[r.Name]
+		}
+	}
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "previous benchjson output; its current section becomes this document's baseline")
 	label := flag.String("label", "", "free-form label recorded in the document")
@@ -152,19 +214,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baseline, err)
 			os.Exit(1)
 		}
-		doc.Baseline = prev.Current
-		doc.Speedup = map[string]float64{}
-		base := map[string]float64{}
-		for _, r := range prev.Current {
-			base[r.Name] = r.NsPerOp
-		}
-		for _, r := range doc.Current {
-			if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
-				// Round to 0.01x: these are host-side numbers, two decimal
-				// places is already more precision than they repeat to.
-				doc.Speedup[r.Name] = float64(int(b/r.NsPerOp*100+0.5)) / 100
-			}
-		}
+		mergeBaseline(&doc, prev)
 	}
 
 	enc, err := json.MarshalIndent(&doc, "", "  ")
@@ -183,11 +233,22 @@ func main() {
 	}
 
 	if *gate > 0 {
+		failed := false
 		if regs := gateRegressions(doc, *gate); len(regs) > 0 {
+			failed = true
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%%:\n", len(regs), *gate)
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "  %s: %.1f -> %.1f ns/op (+%.1f%%)\n", r.name, r.baseNs, r.curNs, r.deltaPct)
 			}
+		}
+		if regs := gateAllocRegressions(doc); len(regs) > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) grew allocs/op:\n", len(regs))
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s: %d -> %d allocs/op\n", r.name, r.base, r.cur)
+			}
+		}
+		if failed {
 			os.Exit(1)
 		}
 	}

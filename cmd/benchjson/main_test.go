@@ -88,3 +88,54 @@ func TestGateIgnoresZeroBaseline(t *testing.T) {
 		t.Errorf("zero baseline flagged %+v, want none", got)
 	}
 }
+
+func TestGateAllocRegressions(t *testing.T) {
+	doc := Doc{
+		Baseline: []Result{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 0},
+			{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 5},
+			{Name: "BenchmarkC", NsPerOp: 100, AllocsPerOp: 8},
+		},
+		Current: []Result{
+			{Name: "BenchmarkA", NsPerOp: 90, AllocsPerOp: 2},    // 0 -> 2: regression
+			{Name: "BenchmarkB", NsPerOp: 90, AllocsPerOp: 5},    // unchanged
+			{Name: "BenchmarkC", NsPerOp: 90, AllocsPerOp: 0},    // improvement
+			{Name: "BenchmarkNew", NsPerOp: 90, AllocsPerOp: 99}, // no baseline: ignored
+		},
+	}
+	regs := gateAllocRegressions(doc)
+	if len(regs) != 1 || regs[0].name != "BenchmarkA" {
+		t.Fatalf("alloc regressions = %+v, want only BenchmarkA", regs)
+	}
+	if regs[0].base != 0 || regs[0].cur != 2 {
+		t.Errorf("regression = %d -> %d, want 0 -> 2", regs[0].base, regs[0].cur)
+	}
+}
+
+func TestAllocsDeltaMergesNonZeroOnly(t *testing.T) {
+	// Mirror main's -baseline merge logic on a Doc directly: deltas are
+	// recorded only for benchmarks present in both sections and only when
+	// the count actually moved, so an all-zero comparison emits no map.
+	prev := Doc{Current: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 4},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	doc := Doc{Current: []Result{
+		{Name: "BenchmarkA", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkB", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkNew", NsPerOp: 50, AllocsPerOp: 7},
+	}}
+	mergeBaseline(&doc, prev)
+	if doc.Speedup["BenchmarkA"] != 2.0 {
+		t.Errorf("speedup[A] = %v, want 2.0", doc.Speedup["BenchmarkA"])
+	}
+	if got, ok := doc.AllocsDelta["BenchmarkA"]; !ok || got != -4 {
+		t.Errorf("AllocsDelta[A] = %d (present=%v), want -4", got, ok)
+	}
+	if _, ok := doc.AllocsDelta["BenchmarkB"]; ok {
+		t.Error("AllocsDelta records an unchanged benchmark")
+	}
+	if _, ok := doc.AllocsDelta["BenchmarkNew"]; ok {
+		t.Error("AllocsDelta records a benchmark absent from the baseline")
+	}
+}

@@ -192,7 +192,9 @@ func (s RunSpec) traceName(rep int) string {
 // runSeqOnce runs one sequential (non-HTM) execution and returns the region
 // duration in virtual cycles.
 func (s RunSpec) runSeqOnce(seed uint64) (float64, error) {
-	e := htm.New(s.platformSpec(), s.engineConfig(1, seed))
+	cfg := s.engineConfig(1, seed)
+	cfg.Space = acquireSpace(cfg.SpaceSize)
+	e := htm.New(s.platformSpec(), cfg)
 	b, err := stamp.New(s.Benchmark, s.benchConfig(seed))
 	if err != nil {
 		return 0, err
@@ -204,6 +206,11 @@ func (s RunSpec) runSeqOnce(seed uint64) (float64, error) {
 	if err := b.Validate(e.Thread(0)); err != nil {
 		return 0, fmt.Errorf("sequential %s on %s: %w", s.Benchmark, s.Platform, err)
 	}
+	// Recycle the engine's big allocations. Error/panic paths above skip
+	// this and fall back to the GC.
+	sp := e.Space()
+	e.Release()
+	releaseSpace(sp)
 	return elapsed, nil
 }
 
@@ -211,6 +218,7 @@ func (s RunSpec) runSeqOnce(seed uint64) (float64, error) {
 // virtual cycles and the accumulated runtime/engine statistics.
 func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats, error) {
 	cfg := s.engineConfig(s.Threads, seed)
+	cfg.Space = acquireSpace(cfg.SpaceSize)
 	var tracer *obs.Tracer
 	if s.TraceDir != "" {
 		tracer = obs.NewTracer(s.Threads, obs.DefaultRingEvents)
@@ -260,7 +268,11 @@ func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats,
 			return 0, tm.Stats{}, htm.Stats{}, err
 		}
 	}
-	return elapsed, agg, e.Stats(), nil
+	engStats := e.Stats()
+	sp := e.Space()
+	e.Release()
+	releaseSpace(sp)
+	return elapsed, agg, engStats, nil
 }
 
 // Run measures spec: Repeats sequential runs and Repeats parallel runs, and

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"sync"
+
+	"htmcmp/internal/mem"
+)
+
+// Space pooling. Every measured run builds a fresh engine over a SpaceSize
+// arena (64 MiB by default), and a sweep performs hundreds of runs — without
+// reuse that is tens of GB of allocation churn for memory that is zeroed
+// and thrown away each time. The pool recycles arenas through
+// mem.Space.Reset, which restores the exact fresh-Space allocation
+// behaviour (pinned by the mem reset-equivalence test and the sweep golden
+// byte-identity), so pooled and unpooled runs produce identical tables.
+
+var spacePools sync.Map // arena size in bytes -> *sync.Pool of *mem.Space
+
+// acquireSpace returns a fresh-or-Reset arena of the given size.
+func acquireSpace(size int) *mem.Space {
+	if p, ok := spacePools.Load(size); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return v.(*mem.Space)
+		}
+	}
+	return mem.NewSpace(size)
+}
+
+// releaseSpace resets sp and parks it for reuse. The caller must guarantee
+// no engine or thread still references the Space (htm.Engine.Release
+// severs those references). Runs that fail or panic simply skip the
+// release and let the GC take the arena — reuse is an optimisation, never
+// a correctness requirement.
+func releaseSpace(sp *mem.Space) {
+	sp.Reset()
+	size := sp.Size()
+	p, ok := spacePools.Load(size)
+	if !ok {
+		p, _ = spacePools.LoadOrStore(size, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(sp)
+}

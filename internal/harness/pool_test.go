@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"htmcmp/internal/platform"
+	"htmcmp/internal/stamp"
+)
+
+// TestPooledSpaceDeterminism pins the tentpole's correctness contract: runs
+// executed on recycled (Reset) Spaces must produce results identical to
+// runs on fresh Spaces. The first Run here allocates fresh arenas and
+// parks them in the pool; the second Run is served from the pool, so any
+// Reset leakage (stale bytes, free lists, labels) would diverge the
+// virtual-time results.
+func TestPooledSpaceDeterminism(t *testing.T) {
+	spec := RunSpec{
+		Platform:  platform.IntelCore,
+		Benchmark: "kmeans-low",
+		Threads:   4,
+		Scale:     stamp.ScaleTest,
+		Repeats:   2,
+	}
+	first, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("pooled rerun diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestReleaseSpaceResets guards the pool contract that released arenas come
+// back in fresh state.
+func TestReleaseSpaceResets(t *testing.T) {
+	sp := acquireSpace(1 << 16)
+	a := sp.Alloc(64)
+	sp.Store64(a, 0xfeed)
+	releaseSpace(sp)
+	got := acquireSpace(1 << 16)
+	// The pool may or may not hand back the same arena (sync.Pool), but
+	// whatever it returns must behave freshly.
+	if b := got.Alloc(64); got.Load64(b) != 0 {
+		t.Error("pooled space returned non-zero memory")
+	}
+	if got.Used() != 64 {
+		t.Errorf("pooled space Used = %d, want 64", got.Used())
+	}
+	releaseSpace(got)
+}

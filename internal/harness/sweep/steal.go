@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"sort"
+	"sync"
+)
+
+// Work-stealing cell scheduler. The old fixed worker pool fed cells through
+// one channel in plan order, which made the sweep's wall clock hostage to
+// its stragglers: a worker that drew a multi-second labyrinth cell near the
+// end of the queue ran alone long after every other worker went idle. Here
+// cells are assigned up front, longest-expected-first (LPT — the classic
+// 4/3-approximation for makespan on identical machines), onto per-worker
+// deques balanced by total expected load; each worker pops its own deque
+// from the front (its longest work first) and, when empty, steals from the
+// back of the currently richest victim (the cheapest cells, which are the
+// cheapest to migrate and the likeliest to be mis-scheduled anyway).
+//
+// Scheduling order affects only wall clock, never results: every cell is
+// executed exactly once and is independently seeded and deterministic.
+
+// deque is one worker's job list. A mutex (not a lock-free deque) is
+// plenty: operations are O(1) and run once per cell, and cells are
+// simulations lasting milliseconds to minutes.
+type deque struct {
+	mu    sync.Mutex
+	cells []Cell // sorted longest-first; owner pops front, thieves pop back
+}
+
+func (d *deque) popFront() (Cell, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.cells) == 0 {
+		return Cell{}, false
+	}
+	c := d.cells[0]
+	d.cells = d.cells[1:]
+	return c, true
+}
+
+func (d *deque) popBack() (Cell, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.cells) == 0 {
+		return Cell{}, false
+	}
+	c := d.cells[len(d.cells)-1]
+	d.cells = d.cells[:len(d.cells)-1]
+	return c, true
+}
+
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.cells)
+}
+
+// lptAssign distributes cells onto `workers` deques: cells sorted by
+// descending estimate (stable, so equal estimates keep plan order and the
+// assignment stays deterministic for a given estimator state), each
+// assigned to the least-loaded worker at that point. Returns the deques and
+// the estimate-sorted order for inspection.
+func lptAssign(cells []Cell, ests []float64, workers int) []*deque {
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ests[order[a]] > ests[order[b]] })
+
+	deques := make([]*deque, workers)
+	for i := range deques {
+		deques[i] = &deque{}
+	}
+	loads := make([]float64, workers)
+	for _, idx := range order {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if loads[i] < loads[w] {
+				w = i
+			}
+		}
+		deques[w].cells = append(deques[w].cells, cells[idx])
+		loads[w] += ests[idx]
+	}
+	return deques
+}
+
+// steal takes a cell from the back of the richest deque other than self.
+// Returns false only when every deque is empty (no new work ever appears
+// mid-pass, so the pass is over).
+func steal(deques []*deque, self int) (Cell, bool) {
+	for {
+		victim, best := -1, 0
+		for i, d := range deques {
+			if i == self {
+				continue
+			}
+			if n := d.size(); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim < 0 {
+			return Cell{}, false
+		}
+		// The victim may have drained between the size probe and the pop;
+		// loop and re-scan rather than give up.
+		if c, ok := deques[victim].popBack(); ok {
+			return c, true
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"htmcmp/internal/harness"
+	"htmcmp/internal/trace"
+)
+
+func TestLPTAssignLongestFirstAndBalanced(t *testing.T) {
+	cells := []Cell{
+		measureCell("labyrinth", 4), // est 10
+		measureCell("yada", 4),      // est 6
+		measureCell("ssca2", 4),     // est 1
+		measureCell("kmeans-low", 4),
+		measureCell("genome", 4),
+		measureCell("intruder", 4),
+	}
+	ests := []float64{10, 6, 1, 1, 2, 1}
+	deques := lptAssign(cells, ests, 2)
+
+	if n := deques[0].size() + deques[1].size(); n != len(cells) {
+		t.Fatalf("deques hold %d cells, want %d", n, len(cells))
+	}
+	// LPT: the single longest cell is the first the first worker pops.
+	c, ok := deques[0].popFront()
+	if !ok || c.Spec.Benchmark != "labyrinth" {
+		t.Errorf("worker 0 front = %v, want the labyrinth cell", c.Label())
+	}
+	// The second-longest lands on the other (then least-loaded) worker.
+	c, ok = deques[1].popFront()
+	if !ok || c.Spec.Benchmark != "yada" {
+		t.Errorf("worker 1 front = %v, want the yada cell", c.Label())
+	}
+}
+
+func TestLPTAssignExactlyOnce(t *testing.T) {
+	cells := testCells()
+	ests := make([]float64, len(cells))
+	for i := range ests {
+		ests[i] = float64(i + 1)
+	}
+	deques := lptAssign(cells, ests, 3)
+	seen := map[string]int{}
+	for _, d := range deques {
+		for {
+			c, ok := d.popFront()
+			if !ok {
+				break
+			}
+			seen[c.Label()]++
+		}
+	}
+	for _, c := range cells {
+		if seen[c.Label()] != 1 {
+			t.Errorf("cell %s scheduled %d times, want exactly once", c.Label(), seen[c.Label()])
+		}
+	}
+}
+
+func TestStealTakesFromRichestBack(t *testing.T) {
+	a := &deque{cells: []Cell{measureCell("labyrinth", 4), measureCell("ssca2", 4)}}
+	b := &deque{cells: []Cell{measureCell("yada", 4)}}
+	self := &deque{}
+	c, ok := steal([]*deque{a, b, self}, 2)
+	if !ok {
+		t.Fatal("steal found nothing")
+	}
+	// Richest victim is a (2 cells); thieves take from the back (cheapest).
+	if c.Spec.Benchmark != "ssca2" {
+		t.Errorf("stole %s, want the back of the richest deque (ssca2)", c.Label())
+	}
+	// Keep stealing; the thief must drain every victim before reporting
+	// empty (workers only stop when no work is left anywhere).
+	for {
+		if _, ok := steal([]*deque{a, b, self}, 2); !ok {
+			break
+		}
+	}
+	if a.size() != 0 || b.size() != 0 {
+		t.Errorf("deques not drained: a=%d b=%d", a.size(), b.size())
+	}
+}
+
+// TestPrewarmStealsFromStragglers pins the scheduler's reason to exist:
+// with two workers and one deque loaded with slow cells (the estimator is
+// cold and the hook ignores estimates, so initial assignment splits the
+// cells evenly in plan order), the worker that finishes early must steal
+// the other's queued work rather than idle, and every cell still executes
+// exactly once.
+func TestPrewarmStealsFromStragglers(t *testing.T) {
+	var mu sync.Mutex
+	runs := map[string]int{}
+	setRunCellHook(t, func(c Cell) (harness.Result, trace.Footprint, error) {
+		mu.Lock()
+		runs[c.Label()]++
+		mu.Unlock()
+		if c.Spec.Benchmark == "labyrinth" {
+			time.Sleep(30 * time.Millisecond)
+		}
+		return harness.Result{}, trace.Footprint{}, nil
+	})
+
+	// Eight cheap cells + two slow ones: whatever the assignment, the
+	// worker without (or finishing) the slow cells runs dry and must steal.
+	cells := []Cell{measureCell("labyrinth", 2), measureCell("labyrinth", 4)}
+	for _, th := range []int{1, 2, 3, 4} {
+		cells = append(cells, measureCell("ssca2", th), measureCell("kmeans-low", th))
+	}
+	s := New(Config{Jobs: 2})
+	sum := s.Prewarm(cells)
+	if sum.Cells != len(cells) || sum.Computed != len(cells) || sum.Failed != 0 {
+		t.Fatalf("summary = %s", sum)
+	}
+	for _, c := range cells {
+		if runs[c.Label()] != 1 {
+			t.Errorf("cell %s ran %d times, want exactly once", c.Label(), runs[c.Label()])
+		}
+	}
+}
+
+func TestStealSummaryString(t *testing.T) {
+	sum := Summary{Cells: 4, Computed: 4, Steals: 2}
+	if got := sum.String(); !strings.Contains(got, "steals=2") {
+		t.Errorf("Summary.String() = %q, want steals=2 present", got)
+	}
+	quiet := Summary{Cells: 4, Cached: 4}
+	if got := quiet.String(); strings.Contains(got, "steals") {
+		t.Errorf("Summary.String() = %q, want no steals field when zero", got)
+	}
+}

@@ -97,11 +97,14 @@ func (c Cell) Label() string {
 }
 
 // record is the on-disk cache payload: the cell (for human debugging of the
-// cache directory) plus its result.
+// cache directory) plus its result. Seconds is the wall-clock compute time
+// of the cell when it was produced; resumed sweeps feed it to the duration
+// estimator so cache-heavy reruns still schedule and predict accurately.
 type record struct {
 	Cell      Cell             `json:"cell"`
 	Result    *harness.Result  `json:"result,omitempty"`
 	Footprint *trace.Footprint `json:"footprint,omitempty"`
+	Seconds   float64          `json:"seconds,omitempty"`
 }
 
 // outcome is the in-memory result of a cell.
@@ -145,6 +148,7 @@ type Summary struct {
 	Computed int // executed in this pass
 	Cached   int // satisfied from the on-disk cache
 	Failed   int // ended in error (including panics and timeouts)
+	Steals   int // cells migrated between workers by the work-stealing pool
 	Elapsed  time.Duration
 }
 
@@ -157,8 +161,12 @@ func (s Summary) HitRatio() float64 {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("cells=%d computed=%d cached=%d failed=%d hit=%.1f%% elapsed=%s",
+	out := fmt.Sprintf("cells=%d computed=%d cached=%d failed=%d hit=%.1f%% elapsed=%s",
 		s.Cells, s.Computed, s.Cached, s.Failed, s.HitRatio(), s.Elapsed.Round(time.Millisecond))
+	if s.Steals > 0 {
+		out += fmt.Sprintf(" steals=%d", s.Steals)
+	}
+	return out
 }
 
 // Scheduler executes cells through a bounded worker pool and memoises their
@@ -168,6 +176,7 @@ func (s Summary) String() string {
 // rendering is always correct, just slower.
 type Scheduler struct {
 	cfg Config
+	est *estimator
 
 	mu       sync.Mutex
 	memo     map[string]outcome
@@ -179,6 +188,7 @@ type Scheduler struct {
 	computed int
 	cached   int
 	failed   int
+	workers  int
 	start    time.Time
 }
 
@@ -190,7 +200,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
 	}
-	return &Scheduler{cfg: cfg, memo: map[string]outcome{}}
+	return &Scheduler{cfg: cfg, memo: map[string]outcome{}, est: newEstimator()}
 }
 
 // Metrics returns the scheduler's live counter set.
@@ -279,6 +289,12 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 			default:
 				cached = false // wrong shape: treat as corrupt → recompute
 			}
+			if cached {
+				// The record remembers how long this cell took to compute;
+				// train the estimator so LPT ordering and the ETA stay
+				// accurate on cache-heavy resumes.
+				s.est.observe(c, rec.Seconds)
+			}
 		}
 	}
 	if !cached {
@@ -286,9 +302,14 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 			c.TraceDir = s.cfg.TraceDir
 			c.Spec.TraceDir = s.cfg.TraceDir
 		}
+		began := time.Now()
 		o = s.execCell(c)
+		seconds := time.Since(began).Seconds()
+		if o.err == nil {
+			s.est.observe(c, seconds)
+		}
 		if o.err == nil && s.cfg.Cache != nil {
-			rec := record{Cell: c}
+			rec := record{Cell: c, Seconds: seconds}
 			if c.Kind == Footprint {
 				fp := o.fp
 				rec.Footprint = &fp
@@ -319,6 +340,9 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 		m.Add("tx_aborts", o.res.Engine.Aborts)
 	}
 
+	if fromPool {
+		s.est.cellDone(c)
+	}
 	s.mu.Lock()
 	s.memo[key] = o
 	if fromPool {
@@ -356,11 +380,20 @@ func (s *Scheduler) emitProgressLocked(c Cell, cached bool) {
 	if s.failed > 0 {
 		line += fmt.Sprintf(" failed=%d", s.failed)
 	}
-	// ETA from the throughput of computed cells only: cache hits are
-	// ~free, so they would skew the estimate to zero.
-	if s.computed > 0 && s.done < s.total {
-		perCell := time.Since(s.start) / time.Duration(s.computed)
-		eta := perCell * time.Duration(s.total-s.done)
+	// ETA = per-class EWMA durations weighted by the remaining planned
+	// work, divided across the worker pool. The old global-mean estimate
+	// was wildly optimistic early on: cheap ssca2 cells finish first and
+	// dragged the mean far below what the pending labyrinth cells cost.
+	// Until a real duration exists (estimates are in prior units) no ETA is
+	// shown; remaining cells that will be cache hits are discounted by the
+	// pass's observed compute ratio.
+	if s.done > 0 && s.done < s.total && s.est.calibrated() {
+		remaining := s.est.remainingSeconds()
+		if workers := s.workers; workers > 1 {
+			remaining /= float64(workers)
+		}
+		remaining *= float64(s.computed) / float64(s.done)
+		eta := time.Duration(remaining * float64(time.Second))
 		line += fmt.Sprintf(" eta=%s", eta.Round(time.Second))
 	}
 	// The live counters also feed the line, so a watcher sees simulated
@@ -403,12 +436,6 @@ func (s *Scheduler) Prewarm(cells []Cell) Summary {
 		}
 	}
 
-	s.mu.Lock()
-	s.total = len(unique)
-	s.done, s.computed, s.cached, s.failed = 0, 0, 0, 0
-	s.start = time.Now()
-	s.mu.Unlock()
-
 	jobs := s.cfg.Jobs
 	if jobs > len(unique) {
 		jobs = len(unique)
@@ -416,22 +443,46 @@ func (s *Scheduler) Prewarm(cells []Cell) Summary {
 	if jobs < 1 {
 		jobs = 1
 	}
-	ch := make(chan Cell)
+
+	// Seed the duration estimator with any persisted history, register this
+	// pass's cells for remaining-work ETA accounting, and assign the cells
+	// to per-worker deques longest-expected-first (steal.go).
+	s.est.load(s.cfg.Cache)
+	s.est.beginPlan(unique)
+	ests := make([]float64, len(unique))
+	for i, c := range unique {
+		ests[i] = s.est.estimate(c)
+	}
+	deques := lptAssign(unique, ests, jobs)
+
+	s.mu.Lock()
+	s.total = len(unique)
+	s.done, s.computed, s.cached, s.failed = 0, 0, 0, 0
+	s.workers = jobs
+	s.start = time.Now()
+	s.mu.Unlock()
+
+	var steals atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
 		wg.Add(1)
-		go func() {
+		go func(self int) {
 			defer wg.Done()
-			for c := range ch {
+			for {
+				c, ok := deques[self].popFront()
+				if !ok {
+					c, ok = steal(deques, self)
+					if !ok {
+						return
+					}
+					steals.Add(1)
+				}
 				s.obtain(c, true)
 			}
-		}()
+		}(i)
 	}
-	for _, c := range unique {
-		ch <- c
-	}
-	close(ch)
 	wg.Wait()
+	s.est.save(s.cfg.Cache)
 
 	s.mu.Lock()
 	sum := Summary{
@@ -439,6 +490,7 @@ func (s *Scheduler) Prewarm(cells []Cell) Summary {
 		Computed: s.computed,
 		Cached:   s.cached,
 		Failed:   s.failed,
+		Steals:   int(steals.Load()),
 		Elapsed:  time.Since(s.start),
 	}
 	s.mu.Unlock()

@@ -59,7 +59,9 @@ func Verify(spec RunSpec) error {
 // units after a successful Validate, plus whether the benchmark declares
 // its unit count interleaving-dependent (stamp.DynamicWork).
 func (s RunSpec) runVerifyOnce(mode string) (int, bool, error) {
-	e := htm.New(s.platformSpec(), s.engineConfig(s.Threads, s.Seed))
+	cfg := s.engineConfig(s.Threads, s.Seed)
+	cfg.Space = acquireSpace(cfg.SpaceSize)
+	e := htm.New(s.platformSpec(), cfg)
 	b, err := stamp.New(s.Benchmark, s.benchConfig(s.Seed))
 	if err != nil {
 		return 0, false, err
@@ -86,5 +88,9 @@ func (s RunSpec) runVerifyOnce(mode string) (int, bool, error) {
 		return 0, false, fmt.Errorf("verify %s under %s: %w", s.Label(), mode, err)
 	}
 	dyn, _ := b.(stamp.DynamicWork)
-	return b.Units(), dyn != nil && dyn.UnitsDynamic(), nil
+	units := b.Units()
+	sp := e.Space()
+	e.Release()
+	releaseSpace(sp)
+	return units, dyn != nil && dyn.UnitsDynamic(), nil
 }

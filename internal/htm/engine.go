@@ -96,6 +96,13 @@ type Config struct {
 	Threads int
 	// SpaceSize is the simulated arena size in bytes (default 64 MiB).
 	SpaceSize int
+	// Space, when non-nil, is a pre-allocated (fresh or Reset) arena the
+	// engine adopts instead of allocating its own — the sweep harness pools
+	// multi-MB Spaces across cells this way. It must be in its
+	// post-NewSpace/post-Reset state and its size must match SpaceSize
+	// (after defaulting); New panics otherwise. The caller must not touch
+	// the Space while the engine runs and must not hand it to two engines.
+	Space *mem.Space
 	// Seed seeds the per-thread PRNGs used by the stochastic models
 	// (prefetcher, cache-fetch aborts) and by workloads.
 	Seed uint64
@@ -235,9 +242,15 @@ func New(spec *platform.Spec, cfg Config) *Engine {
 	if cfg.Threads > maxThreads {
 		panic(fmt.Sprintf("htm: %d threads exceeds engine maximum %d", cfg.Threads, maxThreads))
 	}
+	space := cfg.Space
+	if space == nil {
+		space = mem.NewSpace(cfg.SpaceSize)
+	} else if space.Size() != alignedSpaceSize(cfg.SpaceSize) {
+		panic(fmt.Sprintf("htm: pooled space is %d bytes, config wants %d", space.Size(), cfg.SpaceSize))
+	}
 	e := &Engine{
 		plat:  spec,
-		space: mem.NewSpace(cfg.SpaceSize),
+		space: space,
 		cfg:   cfg,
 	}
 	e.lineSize = spec.LineSize
@@ -250,10 +263,7 @@ func New(spec *platform.Spec, cfg Config) *Engine {
 	}
 	e.lineShift = uint(log2(e.lineSize))
 	e.nLines = (e.space.Size() + e.lineSize - 1) / e.lineSize
-	e.lines = make([]lineRec, e.nLines)
-	for i := range e.lines {
-		e.lines[i].writer = -1
-	}
+	e.lines = getLineTable(e.nLines)
 	e.shards = make([]padMutex, numShards)
 	e.cores = make([]coreState, spec.Cores)
 	if spec.SpecIDs > 0 {
@@ -273,6 +283,16 @@ func New(spec *platform.Spec, cfg Config) *Engine {
 		e.threads[i] = newThread(e, i)
 	}
 	return e
+}
+
+// alignedSpaceSize mirrors mem.NewSpace's size rounding (minimum 64 bytes,
+// multiple of the word size) so New can validate a pooled Space against the
+// configured size.
+func alignedSpaceSize(n int) int {
+	if n < 64 {
+		n = 64
+	}
+	return (n + 7) &^ 7
 }
 
 func log2(n int) int {

@@ -1,0 +1,63 @@
+package htm
+
+import "sync"
+
+// Line-table pooling. The line-ownership table is the engine's single
+// largest allocation — a 64 MiB space at 64-byte lines is one million
+// lineRecs (~40 MB) — and the sweep constructs two engines (sequential +
+// parallel baseline) per cell, so without reuse a 301-cell sweep churns
+// tens of GB through the garbage collector. Tables are pooled per length;
+// getLineTable fully re-initialises every record, so a recycled table is
+// indistinguishable from a fresh one regardless of what state the previous
+// engine left behind.
+
+var lineTablePools sync.Map // nLines -> *sync.Pool of []lineRec
+
+// getLineTable returns a line table of exactly n records, every record in
+// its quiescent state (no writer, no readers).
+func getLineTable(n int) []lineRec {
+	var ls []lineRec
+	if p, ok := lineTablePools.Load(n); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			ls = v.([]lineRec)
+		}
+	}
+	if ls == nil {
+		ls = make([]lineRec, n)
+	}
+	for i := range ls {
+		ls[i] = lineRec{writer: -1}
+	}
+	return ls
+}
+
+// putLineTable returns a table to its pool.
+func putLineTable(ls []lineRec) {
+	if len(ls) == 0 {
+		return
+	}
+	p, ok := lineTablePools.Load(len(ls))
+	if !ok {
+		p, _ = lineTablePools.LoadOrStore(len(ls), &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(ls)
+}
+
+// Release returns the engine's line table to the package pool and detaches
+// the simulated Space so the caller can recycle it (via mem.Space.Reset).
+// Call only once, after all threads are quiescent and every needed result
+// (Stats, MaxClock, ...) has been read; the engine and its Threads are
+// unusable afterwards. Optional: an un-Released engine is simply collected
+// by the GC like before.
+func (e *Engine) Release() {
+	ls := e.lines
+	e.lines = nil
+	e.space = nil
+	for _, t := range e.threads {
+		if t != nil {
+			t.lines = nil
+			t.data = nil
+		}
+	}
+	putLineTable(ls)
+}

@@ -1,8 +1,6 @@
 package htm
 
 import (
-	"encoding/binary"
-
 	"htmcmp/internal/mem"
 )
 
@@ -125,9 +123,9 @@ func (t *Thread) stmValidate() {
 			continue
 		}
 		t.work(t.eng.scaledCost(stmValidateCost) * (len(t.stm.readLog) + 1))
-		data := t.eng.space.Data()
+		data := t.data
 		for _, ent := range t.stm.readLog {
-			if binary.LittleEndian.Uint64(data[ent.addr:]) != ent.val {
+			if le64(data[ent.addr:]) != ent.val {
 				t.abortNow(ReasonConflict, false)
 			}
 		}
@@ -147,7 +145,7 @@ func (t *Thread) stmLoadWord(a mem.Addr) uint64 {
 	t.maybeYield()
 	t.stats.TxLoads++
 	for {
-		v := binary.LittleEndian.Uint64(t.eng.space.Data()[a:])
+		v := le64(t.data[a:])
 		if t.eng.stmSeq.Load() == t.stm.snapshot {
 			t.stm.readLog = append(t.stm.readLog, stmEntry{addr: a, val: v})
 			return v
@@ -185,10 +183,10 @@ func (t *Thread) stmCommit() {
 	}
 	// Exclusive: write back in order. No yields while the lock is odd so
 	// the critical section stays short (as a real NOrec's would).
-	data := t.eng.space.Data()
+	data := t.data
 	for _, a := range st.order {
 		v, _ := st.writes.get(a)
-		binary.LittleEndian.PutUint64(data[a:], v)
+		putLE64(data[a:], v)
 	}
 	if t.wit != nil {
 		// While the sequence lock is held: writer commits are totally

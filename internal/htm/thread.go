@@ -1,7 +1,6 @@
 package htm
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -134,6 +133,17 @@ type Thread struct {
 	abortCost      int
 	prefetchProb   float64
 	cacheFetchProb float64
+
+	// Hot-path caches of engine-invariant state: the line-index shift and
+	// size, the flat line-ownership table, and the raw arena bytes. They
+	// turn every per-access lookup into one pointer chase instead of two
+	// (t.lines[i] vs going through t.eng) and stay valid for the engine's
+	// lifetime — mem.Space.Reset never reallocates the backing array, and
+	// Engine.Release nils them out along with the engine's own references.
+	lineShift uint
+	lineSize  uint64
+	lines     []lineRec
+	data      []byte
 }
 
 func newThread(e *Engine, slot int) *Thread {
@@ -145,6 +155,11 @@ func newThread(e *Engine, slot int) *Thread {
 		gate:    make(chan struct{}, 1),
 		virtual: e.sched != nil,
 		specID:  -1,
+
+		lineShift: e.lineShift,
+		lineSize:  uint64(e.lineSize),
+		lines:     e.lines,
+		data:      e.space.Data(),
 	}
 	if e.cfg.Tracer != nil {
 		t.trace = e.cfg.Tracer.Ring(slot)
@@ -434,17 +449,17 @@ func (t *Thread) commit() {
 	// dooming guarantees no live transaction still holds any of these
 	// lines, and new requesters see us as a committing writer and abort
 	// themselves, so per-line publication is globally safe.
-	data := t.eng.space.Data()
+	data := t.data
 	for _, line := range t.writeOrder {
 		buf, _ := t.ws.get(line)
 		sh := t.lockLine(line)
-		base := uint64(line) << t.eng.lineShift
-		end := base + uint64(t.eng.lineSize)
+		base := uint64(line) << t.lineShift
+		end := base + t.lineSize
 		if end > uint64(len(data)) {
 			end = uint64(len(data))
 		}
 		copy(data[base:end], buf)
-		rec := &t.eng.lines[line]
+		rec := &t.lines[line]
 		rec.writer = -1
 		rec.clearReader(t.slot)
 		if t.wit != nil {
@@ -470,7 +485,7 @@ func (t *Thread) commit() {
 			continue // released above
 		}
 		sh := t.lockLine(line)
-		t.eng.lines[line].clearReader(t.slot)
+		t.lines[line].clearReader(t.slot)
 		unlockLine(sh)
 	}
 	if s := t.eng.cfg.FootprintSampler; s != nil {
@@ -519,7 +534,7 @@ func (t *Thread) rollback() {
 	for _, line := range t.writeOrder {
 		buf, _ := t.ws.get(line)
 		sh := t.lockLine(line)
-		rec := &t.eng.lines[line]
+		rec := &t.lines[line]
 		if rec.writer == int32(t.slot) {
 			rec.writer = -1
 		}
@@ -532,7 +547,7 @@ func (t *Thread) rollback() {
 			continue
 		}
 		sh := t.lockLine(line)
-		t.eng.lines[line].clearReader(t.slot)
+		t.lines[line].clearReader(t.slot)
 		unlockLine(sh)
 	}
 	t.finishTx()
@@ -729,7 +744,7 @@ func unlockLine(sh *padMutex) {
 // (immune) the requester aborts instead.
 func (t *Thread) resolveAsReader(line uint32, counted bool) {
 	sh := t.lockLine(line)
-	rec := &t.eng.lines[line]
+	rec := &t.lines[line]
 	if w := rec.writer; w >= 0 && w != int32(t.slot) {
 		if t.eng.cfg.ResponderWins && !t.hardened {
 			unlockLine(sh)
@@ -755,7 +770,7 @@ func (t *Thread) resolveAsReader(line uint32, counted bool) {
 // buf (copied under the shard lock so the snapshot is untorn).
 func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
 	sh := t.lockLine(line)
-	rec := &t.eng.lines[line]
+	rec := &t.lines[line]
 	if w := rec.writer; w >= 0 && w != int32(t.slot) {
 		if t.eng.cfg.ResponderWins && !t.hardened {
 			unlockLine(sh)
@@ -787,9 +802,9 @@ func (t *Thread) resolveAsWriter(line uint32, buf []byte) {
 		}
 	}
 	rec.writer = int32(t.slot)
-	base := uint64(line) << t.eng.lineShift
-	data := t.eng.space.Data()
-	end := base + uint64(t.eng.lineSize)
+	base := uint64(line) << t.lineShift
+	data := t.data
+	end := base + t.lineSize
 	if end > uint64(len(data)) {
 		end = uint64(len(data))
 	}
@@ -870,7 +885,7 @@ func (t *Thread) capacityCheckStore(line uint32) {
 // ---------------------------------------------------------------------------
 // Access paths
 
-func (t *Thread) lineOf(a mem.Addr) uint32 { return uint32(a >> t.eng.lineShift) }
+func (t *Thread) lineOf(a mem.Addr) uint32 { return uint32(a >> t.lineShift) }
 
 // maybePrefetch models Intel's hardware prefetcher pulling the adjacent line
 // into the transactional read set (Section 5.1): the prefetched line becomes
@@ -889,14 +904,14 @@ func (t *Thread) maybePrefetch(line uint32) {
 	const prefetchDepth = 3
 	for d := uint32(1); d <= prefetchDepth; d++ {
 		next := line + d
-		if int(next) >= t.eng.nLines {
+		if int(next) >= len(t.lines) {
 			return
 		}
 		if t.rs.has(next) || t.ws.has(next) {
 			continue
 		}
 		sh := t.lockLine(next)
-		rec := &t.eng.lines[next]
+		rec := &t.lines[next]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doomTagged(next, rec.writer, ReasonConflict) {
 				unlockLine(sh)
@@ -942,7 +957,7 @@ func (t *Thread) txLoad(a mem.Addr, n int) []byte {
 	t.stats.TxLoads++
 	t.tickOp(t.loadCostPerOp)
 	if buf, ok := t.ws.get(line); ok {
-		off := a & uint64(t.eng.lineSize-1)
+		off := a & (t.lineSize - 1)
 		return buf[off : off+uint64(n)]
 	}
 	if counted, ok := t.rs.get(line); ok {
@@ -973,7 +988,7 @@ func (t *Thread) txLoad(a mem.Addr, n int) []byte {
 // doomed transaction will abort at its next operation, but Go — unlike the
 // hardware this models — does not tolerate the racy read itself).
 func (t *Thread) readShared(a mem.Addr, n int, line uint32) []byte {
-	data := t.eng.space.Data()
+	data := t.data
 	if t.virtual {
 		return data[a : a+uint64(n)]
 	}
@@ -1019,9 +1034,9 @@ func (t *Thread) txStore(a mem.Addr, n int) []byte {
 		// mutate_off.go): hand back the shared arena instead of the private
 		// buffer, leaking speculative stores to other threads and reverting
 		// them at commit when the stale buffer is published.
-		return t.eng.space.Data()[a : a+uint64(n)]
+		return t.data[a : a+uint64(n)]
 	}
-	off := a & uint64(t.eng.lineSize-1)
+	off := a & (t.lineSize - 1)
 	return buf[off : off+uint64(n)]
 }
 
@@ -1031,7 +1046,7 @@ func (t *Thread) getLineBuf() []byte {
 		t.bufPool = t.bufPool[:n-1]
 		return b
 	}
-	return make([]byte, t.eng.lineSize)
+	return make([]byte, t.lineSize)
 }
 
 func (t *Thread) boundsCheck(a mem.Addr, n int) {
@@ -1062,7 +1077,7 @@ func (t *Thread) boundsCheck(a mem.Addr, n int) {
 func (t *Thread) nonTxLoad(a mem.Addr, n int) []byte {
 	t.tickOp(0)
 	t.boundsCheck(a, n)
-	data := t.eng.space.Data()
+	data := t.data
 	// The tx-free fast path is only safe in virtual mode: with real
 	// concurrency a transaction can begin and commit between this check and
 	// the caller decoding the returned bytes.
@@ -1072,7 +1087,7 @@ func (t *Thread) nonTxLoad(a mem.Addr, n int) []byte {
 	line := t.lineOf(a)
 	for {
 		sh := t.lockLine(line)
-		rec := &t.eng.lines[line]
+		rec := &t.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doomTagged(line, rec.writer, ReasonNonTxConflict) {
 				unlockLine(sh)
@@ -1104,7 +1119,7 @@ func (t *Thread) nonTxLoad(a mem.Addr, n int) []byte {
 func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 	t.tickOp(0)
 	t.boundsCheck(a, n)
-	data := t.eng.space.Data()
+	data := t.data
 	// Same virtual-only gate as nonTxLoad: a racing tx commit could
 	// otherwise tear against this unsynchronised write.
 	if t.virtual && t.eng.activeTx.Load() == 0 {
@@ -1117,7 +1132,7 @@ func (t *Thread) nonTxStore(a mem.Addr, n int, src []byte) {
 	line := t.lineOf(a)
 	for {
 		sh := t.lockLine(line)
-		rec := &t.eng.lines[line]
+		rec := &t.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doomTagged(line, rec.writer, ReasonNonTxConflict) {
 				unlockLine(sh)
@@ -1157,6 +1172,42 @@ func (t *Thread) transactional() bool { return t.inTx && t.suspendCnt == 0 }
 // ---------------------------------------------------------------------------
 // Typed accessors (the workload-facing API)
 
+// le64/putLE64/le32/putLE32 decode and encode little-endian words with
+// direct byte arithmetic: the explicit re-slice gives the compiler a single
+// bounds check and lets it collapse the combine into one load/store on
+// little-endian hosts, without an encoding/binary call in the hot path.
+
+func le64(b []byte) uint64 {
+	b = b[:8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b = b[:8]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func le32(b []byte) uint32 {
+	b = b[:4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE32(b []byte, v uint32) {
+	b = b[:4]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
 // Load64 reads the 8-byte word at a, transactionally when in a transaction
 // (hardware or software).
 func (t *Thread) Load64(a mem.Addr) uint64 {
@@ -1165,9 +1216,9 @@ func (t *Thread) Load64(a mem.Addr) uint64 {
 		return t.stmLoadBytes(a, 8)
 	}
 	if t.transactional() {
-		return binary.LittleEndian.Uint64(t.txLoad(a, 8))
+		return le64(t.txLoad(a, 8))
 	}
-	return binary.LittleEndian.Uint64(t.nonTxLoad(a, 8))
+	return le64(t.nonTxLoad(a, 8))
 }
 
 // Store64 writes the 8-byte word v at a, transactionally when in a
@@ -1179,11 +1230,11 @@ func (t *Thread) Store64(a mem.Addr, v uint64) {
 		return
 	}
 	if t.transactional() {
-		binary.LittleEndian.PutUint64(t.txStore(a, 8), v)
+		putLE64(t.txStore(a, 8), v)
 		return
 	}
 	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
+	putLE64(b[:], v)
 	t.nonTxStore(a, 8, b[:])
 }
 
@@ -1194,9 +1245,9 @@ func (t *Thread) Load32(a mem.Addr) uint32 {
 		return uint32(t.stmLoadBytes(a, 4))
 	}
 	if t.transactional() {
-		return binary.LittleEndian.Uint32(t.txLoad(a, 4))
+		return le32(t.txLoad(a, 4))
 	}
-	return binary.LittleEndian.Uint32(t.nonTxLoad(a, 4))
+	return le32(t.nonTxLoad(a, 4))
 }
 
 // Store32 writes the 4-byte word v at a.
@@ -1207,11 +1258,11 @@ func (t *Thread) Store32(a mem.Addr, v uint32) {
 		return
 	}
 	if t.transactional() {
-		binary.LittleEndian.PutUint32(t.txStore(a, 4), v)
+		putLE32(t.txStore(a, 4), v)
 		return
 	}
 	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
+	putLE32(b[:], v)
 	t.nonTxStore(a, 4, b[:])
 }
 
@@ -1251,14 +1302,14 @@ func (t *Thread) Store8(a mem.Addr, v byte) {
 func (t *Thread) LoadRO64(a mem.Addr) uint64 {
 	t.tickRO()
 	t.boundsCheck(a, 8)
-	return binary.LittleEndian.Uint64(t.eng.space.Data()[a:])
+	return le64(t.data[a:])
 }
 
 // LoadRO8 is LoadRO64 for a single byte.
 func (t *Thread) LoadRO8(a mem.Addr) byte {
 	t.tickRO()
 	t.boundsCheck(a, 1)
-	return t.eng.space.Data()[a]
+	return t.data[a]
 }
 
 // LoadROFloat64 is LoadRO64 for a float64.
@@ -1308,7 +1359,7 @@ func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
 	line := t.lineOf(a)
 	for {
 		sh := t.lockLine(line)
-		rec := &t.eng.lines[line]
+		rec := &t.lines[line]
 		if rec.writer >= 0 && rec.writer != int32(t.slot) {
 			if !t.doomTagged(line, rec.writer, ReasonNonTxConflict) {
 				unlockLine(sh)
@@ -1330,11 +1381,11 @@ func (t *Thread) CompareAndSwap64(a mem.Addr, old, new uint64) bool {
 				}
 			}
 		}
-		data := t.eng.space.Data()
-		cur := binary.LittleEndian.Uint64(data[a:])
+		data := t.data
+		cur := le64(data[a:])
 		ok := cur == old
 		if ok {
-			binary.LittleEndian.PutUint64(data[a:], new)
+			putLE64(data[a:], new)
 			if t.wit != nil {
 				t.witnessNonTx(a, 8)
 			}

@@ -10,14 +10,22 @@
 // Space provides raw, untracked accessors. Transactional (tracked, buffered)
 // accesses are performed through internal/htm, which layers conflict
 // detection and store buffering on top of the same arena.
+//
+// The allocator is allocation-free on the host side: blocks come from
+// per-arena size-class free lists (owner-thread-only, no locks) backed by a
+// lock-free global bump pointer, and block metadata lives in a flat
+// class-index side table (one byte per 8-byte granule) instead of a map.
+// Allocation order — and therefore every simulated address, and therefore
+// every conflict line — is identical to the previous mutex+map
+// implementation, which the full-sweep golden byte-identity test pins.
 package mem
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Addr is a simulated memory address: a byte offset into a Space's arena.
@@ -30,8 +38,27 @@ const Nil Addr = 0
 // and integer fields in the transactional data structures are 8-byte words.
 const WordSize = 8
 
-// Space is a simulated flat memory arena with a word-aligned first-fit
-// allocator. The zero value is not usable; construct with NewSpace.
+// maxArenas bounds the per-hardware-thread allocation contexts; it matches
+// the engine's 256-thread ceiling (the largest paper configuration is 64).
+const maxArenas = 256
+
+// Size classes: multiples of 8 up to 256 (32 classes), then powers of two
+// from 512. Small classes keep STAMP's many small node allocations dense;
+// the power-of-two tail bounds free-list fragmentation for big blocks.
+const (
+	numSmallClasses = 32 // 8, 16, ..., 256
+	numClasses      = numSmallClasses + 26
+)
+
+// Space is a simulated flat memory arena with per-arena size-class free
+// lists over a lock-free bump allocator. The zero value is not usable;
+// construct with NewSpace.
+//
+// Concurrency contract: the global bump pointer and the used counter are
+// atomics, so concurrent AllocArena/FreeArena calls on *different* arena IDs
+// are safe without locks; each arena ID must be driven by at most one
+// goroutine at a time (the engine maps arena ID to hardware-thread slot).
+// Arena 0 — the Alloc/Free default — is for single-threaded setup/teardown.
 //
 // Raw accessors (Load*/Store*) perform no conflict tracking and must only be
 // used during single-threaded setup/teardown or for provably thread-private
@@ -39,23 +66,33 @@ const WordSize = 8
 type Space struct {
 	data []byte
 
-	mu   sync.Mutex
-	next uint64         // global bump pointer (always 8-byte aligned)
-	live map[uint64]int // allocated block -> rounded size (for Free/double-free checks)
-	used uint64         // bytes currently allocated
+	next atomic.Uint64 // global bump pointer (always 8-byte aligned)
+	used atomic.Uint64 // bytes currently allocated
+
+	// classTab holds, for every 8-byte granule that starts a live block,
+	// the block's size-class index + 1 (0 = not a block start). It replaces
+	// the old live map: O(1) size lookup on Free, inherent double-free and
+	// interior-free detection, and no map bookkeeping on the hot path.
+	classTab []uint8
+
+	// live is the shadow allocation tracker compiled in by -tags racecheck;
+	// a no-op otherwise. It cross-checks classTab against an exact map.
+	live liveTracker
 
 	// arenas are per-hardware-thread allocation contexts: each bump-
 	// allocates within private chunks carved from the global region, the
 	// way per-thread malloc arenas (and STAMP's thread-local pools) keep
 	// concurrently allocating threads off each other's cache lines.
 	// Without this, transactions that allocate get adjacent blocks and
-	// conflict falsely on every allocation.
-	arenas map[int]*arena
+	// conflict falsely on every allocation. Each arena is owner-only, so
+	// the array needs no lock.
+	arenas []arena
 
 	// regions are the labelled address ranges (Label/RegionAt), sorted by
 	// start address on first lookup (regionsDirty). Setup-time only;
 	// observability tooling reads them to name abort-attribution hot spots
 	// symbolically.
+	regionMu     sync.Mutex
 	regions      []region
 	regionsDirty bool
 }
@@ -71,9 +108,12 @@ type region struct {
 // space at a time. It is line-aligned (256 is the largest modelled line).
 const arenaChunk = 8 << 10
 
+// arena is one thread-private allocation context. All fields are owner-only.
 type arena struct {
 	cur, end uint64
-	free     map[int][]uint64
+	// free holds one LIFO free list per size class, allocated on first
+	// free so idle arenas cost two words.
+	free [][]uint64
 }
 
 // NewSpace returns a Space with the given arena size in bytes. Size is
@@ -84,31 +124,56 @@ func NewSpace(size int) *Space {
 		size = 64
 	}
 	size = (size + 7) &^ 7
-	return &Space{
-		data:   make([]byte, size),
-		next:   WordSize, // reserve address 0 as nil
-		live:   make(map[uint64]int),
-		arenas: make(map[int]*arena),
+	s := &Space{
+		data:     make([]byte, size),
+		classTab: make([]uint8, size/WordSize),
+		arenas:   make([]arena, maxArenas),
 	}
+	s.live.init()
+	s.next.Store(WordSize) // reserve address 0 as nil
+	return s
+}
+
+// Reset returns the Space to its freshly constructed state — all memory
+// zeroed, all allocations and labels dropped — without reallocating the
+// arena, so sweep workers can recycle multi-MB Spaces across cells. Only
+// the high-water-marked region is wiped. A Reset Space behaves identically
+// to a new one: allocation and conflict behaviour of the next run are
+// byte-for-byte those of a fresh Space (pinned by the reuse-equivalence
+// tests and the sweep golden output). Call only while no thread is using
+// the Space.
+func (s *Space) Reset() {
+	hi := s.next.Load()
+	clear(s.data[:hi])
+	clear(s.classTab[:(hi+WordSize-1)/WordSize])
+	s.next.Store(WordSize)
+	s.used.Store(0)
+	for i := range s.arenas {
+		ar := &s.arenas[i]
+		ar.cur, ar.end = 0, 0
+		for c := range ar.free {
+			ar.free[c] = ar.free[c][:0]
+		}
+	}
+	s.regionMu.Lock()
+	s.regions = s.regions[:0]
+	s.regionsDirty = false
+	s.regionMu.Unlock()
+	s.live.reset()
 }
 
 // Size returns the arena size in bytes.
 func (s *Space) Size() int { return len(s.data) }
 
 // Used returns the number of bytes currently allocated.
-func (s *Space) Used() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.used
-}
+func (s *Space) Used() uint64 { return s.used.Load() }
 
 // Data exposes the raw arena. It is intended for the HTM engine's commit
 // write-back and for tests; workloads should not touch it directly.
 func (s *Space) Data() []byte { return s.data }
 
 // roundSize rounds a request up to its size class: multiples of 8 up to 256,
-// then powers of two. Small classes keep STAMP's many small node allocations
-// dense; the power-of-two tail bounds free-list fragmentation for big blocks.
+// then powers of two.
 func roundSize(n int) int {
 	if n <= 0 {
 		n = 1
@@ -121,6 +186,26 @@ func roundSize(n int) int {
 		c <<= 1
 	}
 	return c
+}
+
+// classIndex maps a rounded size to its class index.
+func classIndex(cls int) int {
+	if cls <= 256 {
+		return cls/WordSize - 1
+	}
+	i := numSmallClasses
+	for c := 512; c < cls; c <<= 1 {
+		i++
+	}
+	return i
+}
+
+// classSize is the inverse of classIndex.
+func classSize(idx int) int {
+	if idx < numSmallClasses {
+		return (idx + 1) * WordSize
+	}
+	return 512 << (idx - numSmallClasses)
 }
 
 // Alloc allocates size bytes from arena 0 and returns the block address.
@@ -148,24 +233,23 @@ func (s *Space) AllocArena(size, align, arenaID int) Addr {
 	if align&(align-1) != 0 {
 		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
 	}
-	cls := roundSize(size)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	ar := s.arenas[arenaID]
-	if ar == nil {
-		ar = &arena{free: make(map[int][]uint64)}
-		s.arenas[arenaID] = ar
+	if arenaID < 0 || arenaID >= maxArenas {
+		panic(fmt.Sprintf("mem: arena ID %d out of range [0,%d)", arenaID, maxArenas))
 	}
+	cls := roundSize(size)
+	ci := classIndex(cls)
+	if ci >= numClasses {
+		panic(fmt.Sprintf("mem: allocation of %d bytes exceeds the largest size class", size))
+	}
+	ar := &s.arenas[arenaID]
 
 	// Reuse a free block of the exact class if one satisfies the alignment.
-	if align == WordSize {
-		if list := ar.free[cls]; len(list) > 0 {
+	if align == WordSize && ar.free != nil {
+		if list := ar.free[ci]; len(list) > 0 {
 			a := list[len(list)-1]
-			ar.free[cls] = list[:len(list)-1]
-			s.live[a] = cls
-			s.used += uint64(cls)
-			zero(s.data[a : a+uint64(cls)])
+			ar.free[ci] = list[:len(list)-1]
+			s.mark(a, ci, cls)
+			clear(s.data[a : a+uint64(cls)])
 			return a
 		}
 	}
@@ -173,40 +257,62 @@ func (s *Space) AllocArena(size, align, arenaID int) Addr {
 	// Oversized or highly aligned requests go straight to the global
 	// region; small ones bump within the arena's private chunk.
 	if cls+align > arenaChunk/2 {
-		a := s.bumpLocked(cls, align)
-		s.live[a] = cls
-		s.used += uint64(cls)
+		a := s.bump(uint64(cls), uint64(align))
+		s.mark(a, ci, cls)
 		return a
 	}
 	a := (ar.cur + uint64(align) - 1) &^ (uint64(align) - 1)
 	if a+uint64(cls) > ar.end {
-		if s.next+arenaChunk+256 > uint64(len(s.data)) {
-			// Too little headroom for a fresh chunk (tiny test spaces):
-			// serve the block from the global region directly.
-			g := s.bumpLocked(cls, align)
-			s.live[g] = cls
-			s.used += uint64(cls)
+		// Carve a fresh chunk unless headroom is too low (tiny test
+		// spaces), in which case the block is served from the global
+		// region directly.
+		start, ok := uint64(0), false
+		if s.next.Load()+arenaChunk+256 <= uint64(len(s.data)) {
+			start, ok = s.bumpTry(arenaChunk, 256)
+		}
+		if !ok {
+			g := s.bump(uint64(cls), uint64(align))
+			s.mark(g, ci, cls)
 			return g
 		}
-		start := s.bumpLocked(arenaChunk, 256)
 		ar.cur, ar.end = start, start+arenaChunk
 		a = (ar.cur + uint64(align) - 1) &^ (uint64(align) - 1)
 	}
 	ar.cur = a + uint64(cls)
-	s.live[a] = cls
-	s.used += uint64(cls)
+	s.mark(a, ci, cls)
 	return a
 }
 
-// bumpLocked advances the global bump pointer. Caller holds s.mu.
-func (s *Space) bumpLocked(cls, align int) uint64 {
-	a := (s.next + uint64(align) - 1) &^ (uint64(align) - 1)
-	end := a + uint64(cls)
-	if end > uint64(len(s.data)) {
-		panic(fmt.Sprintf("mem: space exhausted: need %d bytes at %d, size %d (used %d)",
-			cls, a, len(s.data), s.used))
+// mark records a fresh allocation in the side table and counters.
+func (s *Space) mark(a uint64, ci, cls int) {
+	s.classTab[a/WordSize] = uint8(ci + 1)
+	s.used.Add(uint64(cls))
+	s.live.alloc(a, cls)
+}
+
+// bumpTry advances the global bump pointer by a lock-free CAS, returning
+// ok=false when the space cannot satisfy the request.
+func (s *Space) bumpTry(n, align uint64) (uint64, bool) {
+	for {
+		cur := s.next.Load()
+		a := (cur + align - 1) &^ (align - 1)
+		end := a + n
+		if end > uint64(len(s.data)) {
+			return 0, false
+		}
+		if s.next.CompareAndSwap(cur, end) {
+			return a, true
+		}
 	}
-	s.next = end
+}
+
+// bump is bumpTry with the exhaustion panic.
+func (s *Space) bump(n, align uint64) uint64 {
+	a, ok := s.bumpTry(n, align)
+	if !ok {
+		panic(fmt.Sprintf("mem: space exhausted: need %d bytes, size %d (used %d)",
+			n, len(s.data), s.used.Load()))
+	}
 	return a
 }
 
@@ -223,20 +329,27 @@ func (s *Space) FreeArena(a Addr, arenaID int) {
 	if a == Nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cls, ok := s.live[a]
-	if !ok {
+	if arenaID < 0 || arenaID >= maxArenas {
+		panic(fmt.Sprintf("mem: arena ID %d out of range [0,%d)", arenaID, maxArenas))
+	}
+	if a%WordSize != 0 || a >= uint64(len(s.data)) {
 		panic(fmt.Sprintf("mem: free of non-allocated address %#x", a))
 	}
-	delete(s.live, a)
-	s.used -= uint64(cls)
-	ar := s.arenas[arenaID]
-	if ar == nil {
-		ar = &arena{free: make(map[int][]uint64)}
-		s.arenas[arenaID] = ar
+	ci := int(s.classTab[a/WordSize])
+	if ci == 0 {
+		// Never allocated, already freed, or an interior pointer.
+		panic(fmt.Sprintf("mem: free of non-allocated address %#x", a))
 	}
-	ar.free[cls] = append(ar.free[cls], a)
+	ci--
+	cls := classSize(ci)
+	s.live.free(a, cls)
+	s.classTab[a/WordSize] = 0
+	s.used.Add(^uint64(cls - 1)) // atomic subtract
+	ar := &s.arenas[arenaID]
+	if ar.free == nil {
+		ar.free = make([][]uint64, numClasses)
+	}
+	ar.free[ci] = append(ar.free[ci], a)
 }
 
 // Label names the address range [a, a+size) for diagnostics. Workload
@@ -251,8 +364,8 @@ func (s *Space) Label(a Addr, size int, name string) {
 	if size <= 0 || name == "" {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regionMu.Lock()
+	defer s.regionMu.Unlock()
 	s.regions = append(s.regions, region{start: a, size: uint64(size), name: name})
 	s.regionsDirty = true
 }
@@ -260,8 +373,8 @@ func (s *Space) Label(a Addr, size int, name string) {
 // RegionAt returns the label covering address a, or "" when a falls in no
 // labelled region. Safe for concurrent use once setup is done.
 func (s *Space) RegionAt(a Addr) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regionMu.Lock()
+	defer s.regionMu.Unlock()
 	if s.regionsDirty {
 		sort.SliceStable(s.regions, func(i, j int) bool {
 			return s.regions[i].start < s.regions[j].start
@@ -282,59 +395,90 @@ func (s *Space) RegionAt(a Addr) string {
 // BlockSize returns the rounded size of the live allocation at a, or 0 if a
 // is not a live allocation.
 func (s *Space) BlockSize(a Addr) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.live[a]
-}
-
-func zero(b []byte) {
-	for i := range b {
-		b[i] = 0
+	if a%WordSize != 0 || a >= uint64(len(s.data)) {
+		return 0
 	}
+	ci := int(s.classTab[a/WordSize])
+	if ci == 0 {
+		return 0
+	}
+	return classSize(ci - 1)
 }
 
-func (s *Space) check(a Addr, n int) {
+// accessPanic reports a bad raw access; out of line so the accessors stay
+// leaf-inlinable.
+func (s *Space) accessPanic(a Addr, n int) {
 	if a == Nil {
 		panic("mem: access through nil simulated pointer")
 	}
-	if a+uint64(n) > uint64(len(s.data)) {
-		panic(fmt.Sprintf("mem: access [%#x,%#x) out of arena bounds %d", a, a+uint64(n), len(s.data)))
-	}
+	panic(fmt.Sprintf("mem: access [%#x,%#x) out of arena bounds %d", a, a+uint64(n), len(s.data)))
 }
+
+// The raw accessors decode little-endian words with direct byte arithmetic
+// on a constant-length subslice: one explicit bounds check, no
+// encoding/binary call, and the compiler collapses the byte combine into a
+// single load/store on little-endian hosts.
 
 // Load64 reads the 8-byte word at address a (untracked).
 func (s *Space) Load64(a Addr) uint64 {
-	s.check(a, 8)
-	return binary.LittleEndian.Uint64(s.data[a:])
+	if a == Nil || a+8 > uint64(len(s.data)) {
+		s.accessPanic(a, 8)
+	}
+	b := s.data[a : a+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
 // Store64 writes the 8-byte word v at address a (untracked).
 func (s *Space) Store64(a Addr, v uint64) {
-	s.check(a, 8)
-	binary.LittleEndian.PutUint64(s.data[a:], v)
+	if a == Nil || a+8 > uint64(len(s.data)) {
+		s.accessPanic(a, 8)
+	}
+	b := s.data[a : a+8]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
 }
 
 // Load32 reads the 4-byte word at address a (untracked).
 func (s *Space) Load32(a Addr) uint32 {
-	s.check(a, 4)
-	return binary.LittleEndian.Uint32(s.data[a:])
+	if a == Nil || a+4 > uint64(len(s.data)) {
+		s.accessPanic(a, 4)
+	}
+	b := s.data[a : a+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // Store32 writes the 4-byte word v at address a (untracked).
 func (s *Space) Store32(a Addr, v uint32) {
-	s.check(a, 4)
-	binary.LittleEndian.PutUint32(s.data[a:], v)
+	if a == Nil || a+4 > uint64(len(s.data)) {
+		s.accessPanic(a, 4)
+	}
+	b := s.data[a : a+4]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
 }
 
 // Load8 reads the byte at address a (untracked).
 func (s *Space) Load8(a Addr) byte {
-	s.check(a, 1)
+	if a == Nil || a >= uint64(len(s.data)) {
+		s.accessPanic(a, 1)
+	}
 	return s.data[a]
 }
 
 // Store8 writes the byte v at address a (untracked).
 func (s *Space) Store8(a Addr, v byte) {
-	s.check(a, 1)
+	if a == Nil || a >= uint64(len(s.data)) {
+		s.accessPanic(a, 1)
+	}
 	s.data[a] = v
 }
 
@@ -356,13 +500,17 @@ func (s *Space) StoreInt64(a Addr, v int64) { s.Store64(a, uint64(v)) }
 
 // WriteBytes copies b into the arena at address a (untracked).
 func (s *Space) WriteBytes(a Addr, b []byte) {
-	s.check(a, len(b))
+	if a == Nil || a+uint64(len(b)) > uint64(len(s.data)) {
+		s.accessPanic(a, len(b))
+	}
 	copy(s.data[a:], b)
 }
 
 // ReadBytes copies n bytes starting at address a out of the arena (untracked).
 func (s *Space) ReadBytes(a Addr, n int) []byte {
-	s.check(a, n)
+	if a == Nil || a+uint64(n) > uint64(len(s.data)) {
+		s.accessPanic(a, n)
+	}
 	out := make([]byte, n)
 	copy(out, s.data[a:])
 	return out
