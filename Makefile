@@ -13,7 +13,7 @@ GATE    ?= 200
 # FUZZTIME is the per-target budget for fuzz-smoke.
 FUZZTIME ?= 30s
 
-.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke profile trace-smoke fuzz-smoke cover results-sim results-sim-diff clean
+.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke profile trace-smoke metrics-smoke fuzz-smoke cover results-sim results-sim-diff clean
 
 build:
 	$(GO) build ./...
@@ -121,6 +121,45 @@ trace-smoke: build
 	@grep -q '"cells_computed"' $(SMOKE)/METRICS.json || { \
 		echo "METRICS.json missing counters:"; cat $(SMOKE)/METRICS.json; exit 1; }
 	@echo "trace-smoke ok: event report, Chrome trace, per-cell JSONL and METRICS.json all validate"
+
+# metrics-smoke drives the live-telemetry stack end to end: an uncached
+# test-scale sweep serves the dashboard while it computes, the /metrics
+# scrape must validate against the in-repo exposition parser (htmtrace
+# -check-metrics), /api/state must carry the worker table, and a
+# deliberately aggressive stall threshold forces the flight recorder to
+# dump mid-sweep — any JSONL rings in the dump must pass -check-events.
+metrics-smoke: build
+	@set -e; \
+	rm -rf $(SMOKE)/flight $(SMOKE)/metrics.log; mkdir -p $(SMOKE)/flight; \
+	./$(BIN)/htmbench -exp fig2+3 -scale test -jobs $(JOBS) -no-cache \
+		-http 127.0.0.1:0 -sample 25ms -http-linger 15s \
+		-flight-dir $(SMOKE)/flight -flight-stall 10ms \
+		>$(SMOKE)/metrics-run.txt 2>$(SMOKE)/metrics.log & pid=$$!; \
+	addr=""; for i in $$(seq 1 300); do \
+		addr=$$(sed -n 's|.*live telemetry at http://\([^/]*\)/.*|\1|p' $(SMOKE)/metrics.log | head -1); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	[ -n "$$addr" ] || { echo "telemetry server never came up"; cat $(SMOKE)/metrics.log; exit 1; }; \
+	curl -fsS "http://$$addr/metrics" >/dev/null || { echo "live scrape failed mid-sweep"; exit 1; }; \
+	for i in $$(seq 1 1800); do \
+		grep -q 'sweep summary:' $(SMOKE)/metrics.log && break; sleep 0.1; done; \
+	grep -q 'sweep summary:' $(SMOKE)/metrics.log || { echo "sweep never finished"; cat $(SMOKE)/metrics.log; exit 1; }; \
+	curl -fsS "http://$$addr/metrics" >$(SMOKE)/metrics.prom; \
+	curl -fsS "http://$$addr/api/state" >$(SMOKE)/state.json; \
+	curl -fsS "http://$$addr/" >$(SMOKE)/dashboard.html; \
+	wait $$pid; \
+	./$(BIN)/htmtrace -check-metrics $(SMOKE)/metrics.prom; \
+	grep -q 'htm_tx_begins_total' $(SMOKE)/metrics.prom || { echo "scrape missing engine counters"; exit 1; }; \
+	grep -q 'sweep_cells_done_total' $(SMOKE)/metrics.prom || { echo "scrape missing sweep counters"; exit 1; }; \
+	grep -q '"workers"' $(SMOKE)/state.json || { echo "/api/state missing the worker table"; exit 1; }; \
+	grep -q 'htmcmp live telemetry' $(SMOKE)/dashboard.html || { echo "dashboard page malformed"; exit 1; }; \
+	ls -d $(SMOKE)/flight/flight-* >/dev/null 2>&1 || { echo "flight recorder never triggered"; cat $(SMOKE)/metrics.log; exit 1; }; \
+	dump=$$(ls -d $(SMOKE)/flight/flight-* | head -1); \
+	test -s "$$dump/info.json" || { echo "flight dump missing info.json"; exit 1; }; \
+	./$(BIN)/htmtrace -check-metrics "$$dump/metrics.prom" >/dev/null; \
+	for f in "$$dump"/rings-*.jsonl; do \
+		[ -e "$$f" ] || break; \
+		./$(BIN)/htmtrace -check-events "$$f" >/dev/null || exit 1; done; \
+	echo "metrics-smoke ok: live scrape validates, dashboard served, flight dump at $$dump checks out"
 
 # fuzz-smoke runs each native fuzz target for $(FUZZTIME) of coverage-guided
 # input generation (generated transactional programs differentially checked

@@ -8,6 +8,7 @@
 //	htmbench -exp fig2 [-scale sim] [-repeats 2] [-tune] [-csv] [-v]
 //	         [-jobs N] [-cache-dir .htmcache] [-no-cache] [-resume=false]
 //	         [-trace-dir DIR] [-metrics FILE] [-verify]
+//	         [-http :8080] [-http-linger 10m] [-flight-dir DIR]
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
 // fig11, prefetch (the Section 5.1 ablation), or all.
@@ -30,10 +31,13 @@ import (
 	"strings"
 	"time"
 
+	"htmcmp/internal/adapt"
 	"htmcmp/internal/cache"
 	"htmcmp/internal/features"
 	"htmcmp/internal/harness"
 	"htmcmp/internal/harness/sweep"
+	"htmcmp/internal/htm"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 	"htmcmp/internal/trace"
@@ -58,6 +62,14 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write sweep-level counters as JSON to this file (METRICS.json style)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
+	httpAddr := flag.String("http", "", "serve live telemetry (dashboard at /, Prometheus text at /metrics, JSON at /api/state) on this address, e.g. :8080")
+	sampleEvery := flag.Duration("sample", 500*time.Millisecond, "telemetry sampling period")
+	httpLinger := flag.Duration("http-linger", 0, "keep the telemetry server up this long after the sweep completes (0 = close immediately)")
+	flightDir := flag.String("flight-dir", "", "enable the flight recorder, writing anomaly dumps under this directory")
+	flightAbort := flag.Float64("flight-abort-rate", 0, "aborts/sec that triggers a flight dump (0 = off)")
+	flightStall := flag.Duration("flight-stall", 0, "a sweep cell running longer than this triggers a flight dump (0 = off)")
+	flightDemotion := flag.Float64("flight-demotion-rate", 0, "STM demotions/sec that triggers a flight dump (0 = off)")
+	flightProfile := flag.Bool("flight-profile", false, "include pprof CPU+heap profiles in flight dumps")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -131,13 +143,44 @@ func main() {
 	if *progress {
 		progressW = os.Stderr
 	}
+	var tel *obs.Telemetry
+	if *httpAddr != "" || *flightDir != "" {
+		cfg := obs.TelemetryConfig{
+			HTTPAddr:       *httpAddr,
+			SampleInterval: *sampleEvery,
+			Reasons:        htm.NumReasons,
+			Modes:          adapt.NumModes,
+			Workers:        *jobs,
+		}
+		if *flightDir != "" {
+			cfg.Flight = &obs.FlightConfig{
+				Dir:          *flightDir,
+				AbortRate:    *flightAbort,
+				StallTimeout: *flightStall,
+				DemotionRate: *flightDemotion,
+				Profile:      *flightProfile,
+			}
+			cfg.SIGQUIT = true
+		}
+		var err error
+		tel, err = obs.StartTelemetry(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer tel.Close()
+		if a := tel.Addr(); a != "" {
+			fmt.Fprintf(os.Stderr, "htmbench: live telemetry at http://%s/\n", a)
+		}
+	}
 	sched := sweep.New(sweep.Config{
-		Jobs:     *jobs,
-		Cache:    store,
-		Resume:   *resume,
-		Timeout:  *cellTimeout,
-		Progress: progressW,
-		TraceDir: *traceDir,
+		Jobs:      *jobs,
+		Cache:     store,
+		Resume:    *resume,
+		Timeout:   *cellTimeout,
+		Progress:  progressW,
+		TraceDir:  *traceDir,
+		Telemetry: tel,
 	})
 
 	// Planning pass: record every cell the selected experiments will
@@ -189,6 +232,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
 	writeMetrics(*metricsPath, sched)
+	if tel != nil && *httpLinger > 0 {
+		fmt.Fprintf(os.Stderr, "htmbench: telemetry server up for another %s (SIGQUIT dumps a flight recording)\n", *httpLinger)
+		time.Sleep(*httpLinger)
+	}
 }
 
 // verifyCells runs harness.Verify over the distinct measured configurations

@@ -15,7 +15,7 @@
 //
 //	htmtune -platform zec12 -bench vacation-low [-threads 4] [-scale sim]
 //	        [-rounds 2] [-repeats 2] [-jobs N] [-cache-dir .htmcache]
-//	        [-no-cache] [-resume=false]
+//	        [-no-cache] [-resume=false] [-http :8080]
 package main
 
 import (
@@ -24,10 +24,14 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
+	"htmcmp/internal/adapt"
 	"htmcmp/internal/cache"
 	"htmcmp/internal/harness"
 	"htmcmp/internal/harness/sweep"
+	"htmcmp/internal/htm"
+	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
 	"htmcmp/internal/stamp"
 	"htmcmp/internal/tm"
@@ -279,6 +283,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", ".htmcache", "on-disk result cache directory")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache entirely")
 	resume := flag.Bool("resume", true, "reuse cached results from earlier runs")
+	httpAddr := flag.String("http", "", "serve live telemetry (dashboard at /, Prometheus text at /metrics) on this address, e.g. :8080")
+	sampleEvery := flag.Duration("sample", 500*time.Millisecond, "telemetry sampling period")
 	flag.Parse()
 
 	kind, err := parsePlatform(*platName)
@@ -299,10 +305,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "htmtune: %v (continuing without cache)\n", err)
 		}
 	}
+	var tel *obs.Telemetry
+	if *httpAddr != "" {
+		tel, err = obs.StartTelemetry(obs.TelemetryConfig{
+			HTTPAddr:       *httpAddr,
+			SampleInterval: *sampleEvery,
+			Reasons:        htm.NumReasons,
+			Modes:          adapt.NumModes,
+			Workers:        *jobs,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "htmtune: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer tel.Close()
+		fmt.Fprintf(os.Stderr, "htmtune: live telemetry at http://%s/\n", tel.Addr())
+	}
 	sched := sweep.New(sweep.Config{
-		Jobs:   *jobs,
-		Cache:  store,
-		Resume: *resume,
+		Jobs:      *jobs,
+		Cache:     store,
+		Resume:    *resume,
+		Telemetry: tel,
 	})
 
 	base := harness.RunSpec{
@@ -348,14 +371,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "htmtune:", err)
 		os.Exit(1)
 	}
-	def, win, adapt := results[0], results[1], results[2]
+	def, win, ada := results[0], results[1], results[2]
 	fmt.Printf("\nbest static: %s\n\n", best.label(kind))
 	fmt.Printf("%-12s speedup %.2f  abort %.1f%%  serial %.1f%%\n", "default", def.Speedup, def.AbortRatio, def.SerializationRatio)
 	fmt.Printf("%-12s speedup %.2f  abort %.1f%%  serial %.1f%%\n", "best-static", win.Speedup, win.AbortRatio, win.SerializationRatio)
-	fmt.Printf("%-12s speedup %.2f  abort %.1f%%  switches %d\n", "adaptive", adapt.Speedup, adapt.AbortRatio, adapt.TM.ModeSwitches)
+	fmt.Printf("%-12s speedup %.2f  abort %.1f%%  switches %d\n", "adaptive", ada.Speedup, ada.AbortRatio, ada.TM.ModeSwitches)
 	if win.Speedup > 0 {
 		fmt.Printf("\nadaptive/best-static = %.2f, best-static/default = %.2f\n",
-			adapt.Speedup/win.Speedup, safeRatio(win.Speedup, def.Speedup))
+			ada.Speedup/win.Speedup, safeRatio(win.Speedup, def.Speedup))
 	}
 }
 

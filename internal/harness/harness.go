@@ -66,6 +66,13 @@ type RunSpec struct {
 	// run and writes a <label>-r<rep>.jsonl event file per repeat into it.
 	// Excluded from JSON so sweep cache keys are unaffected by tracing.
 	TraceDir string `json:"-"`
+	// Telemetry, when set, publishes live counters from every parallel run
+	// into the shared registry and drains a small per-run tracer into the
+	// rolling event log (the flight recorder's dump source). Like TraceDir
+	// it is excluded from JSON so sweep cache keys are unaffected, and
+	// publication never charges virtual time, so measured results are
+	// identical with it attached.
+	Telemetry *obs.Telemetry `json:"-"`
 }
 
 // Label is a short human-readable identifier for progress reporting.
@@ -224,6 +231,16 @@ func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats,
 		tracer = obs.NewTracer(s.Threads, obs.DefaultRingEvents)
 		cfg.Tracer = tracer
 	}
+	if s.Telemetry != nil {
+		cfg.Metrics = s.Telemetry.Engine
+		if tracer == nil {
+			// Telemetry alone keeps a small flight-recorder ring per thread —
+			// enough recent events to explain an anomaly, cheap enough to
+			// leave on for a whole sweep.
+			tracer = obs.NewTracer(s.Threads, obs.DefaultRingEvents/16)
+			cfg.Tracer = tracer
+		}
+	}
 	e := htm.New(s.platformSpec(), cfg)
 	b, err := stamp.New(s.Benchmark, s.benchConfig(seed))
 	if err != nil {
@@ -264,8 +281,16 @@ func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats,
 		agg.Add(&x.Stats)
 	}
 	if tracer != nil {
-		if err := obs.WriteJSONLFile(filepath.Join(s.TraceDir, s.traceName(rep)), tracer.Events()); err != nil {
-			return 0, tm.Stats{}, htm.Stats{}, err
+		if s.TraceDir != "" {
+			if err := obs.WriteJSONLStreamFile(filepath.Join(s.TraceDir, s.traceName(rep)),
+				obs.HeaderFor(tracer), tracer.Events()); err != nil {
+				return 0, tm.Stats{}, htm.Stats{}, err
+			}
+		}
+		if s.Telemetry != nil {
+			// Drained post-run (producers quiescent) into the rolling log the
+			// flight recorder dumps from.
+			s.Telemetry.Log.Drain(fmt.Sprintf("%s#r%d", s.Label(), rep), tracer)
 		}
 	}
 	engStats := e.Stats()

@@ -140,6 +140,13 @@ type Config struct {
 	// as cells complete; the progress line reads them. New allocates one
 	// when nil.
 	Metrics *obs.Metrics
+	// Telemetry, when set, is threaded into every computed cell's RunSpec
+	// (live engine counters + flight-recorder event segments), mirrored
+	// into registry counters (sweep_cells_*_total, sweep_steals_total) and
+	// the sweep_eta_seconds gauge, and kept current in the worker table
+	// the dashboard renders. Injected after cache keys are computed, so —
+	// like TraceDir — it never perturbs cache identity.
+	Telemetry *obs.Telemetry
 }
 
 // Summary reports what a Prewarm pass did.
@@ -177,6 +184,7 @@ func (s Summary) String() string {
 type Scheduler struct {
 	cfg Config
 	est *estimator
+	tc  *telemetryCounters // nil without cfg.Telemetry
 
 	mu       sync.Mutex
 	memo     map[string]outcome
@@ -192,6 +200,17 @@ type Scheduler struct {
 	start    time.Time
 }
 
+// telemetryCounters are the scheduler's pre-resolved registry handles
+// (registered once in New; bumped as cells complete).
+type telemetryCounters struct {
+	done     *obs.Counter
+	cached   *obs.Counter
+	computed *obs.Counter
+	failed   *obs.Counter
+	steals   *obs.Counter
+	eta      *obs.Gauge
+}
+
 // New builds a Scheduler from cfg.
 func New(cfg Config) *Scheduler {
 	if cfg.Jobs <= 0 {
@@ -200,7 +219,19 @@ func New(cfg Config) *Scheduler {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
 	}
-	return &Scheduler{cfg: cfg, memo: map[string]outcome{}, est: newEstimator()}
+	s := &Scheduler{cfg: cfg, memo: map[string]outcome{}, est: newEstimator()}
+	if tel := cfg.Telemetry; tel != nil {
+		reg := tel.Registry
+		s.tc = &telemetryCounters{
+			done:     reg.Counter("sweep_cells_done_total"),
+			cached:   reg.Counter("sweep_cells_cached_total"),
+			computed: reg.Counter("sweep_cells_computed_total"),
+			failed:   reg.Counter("sweep_cells_failed_total"),
+			steals:   reg.Counter("sweep_steals_total"),
+			eta:      reg.Gauge("sweep_eta_seconds"),
+		}
+	}
+	return s
 }
 
 // Metrics returns the scheduler's live counter set.
@@ -302,6 +333,9 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 			c.TraceDir = s.cfg.TraceDir
 			c.Spec.TraceDir = s.cfg.TraceDir
 		}
+		// Telemetry rides along the same way TraceDir does: injected after
+		// Key() so live observability never changes what a cell IS.
+		c.Spec.Telemetry = s.cfg.Telemetry
 		began := time.Now()
 		o = s.execCell(c)
 		seconds := time.Since(began).Seconds()
@@ -332,6 +366,17 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 	} else {
 		m.Add("cells_computed", 1)
 	}
+	if tc := s.tc; tc != nil {
+		tc.done.Inc(0)
+		if cached {
+			tc.cached.Inc(0)
+		} else {
+			tc.computed.Inc(0)
+		}
+		if o.err != nil {
+			tc.failed.Inc(0)
+		}
+	}
 	if o.err != nil {
 		m.Add("cells_failed", 1)
 	} else if c.Kind != Footprint {
@@ -355,10 +400,34 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 		if o.err != nil {
 			s.failed++
 		}
+		if s.tc != nil {
+			if eta, ok := s.etaSecondsLocked(); ok {
+				s.tc.eta.Set(int64(eta))
+			} else {
+				s.tc.eta.Set(0)
+			}
+		}
 		s.emitProgressLocked(c, cached)
 	}
 	s.mu.Unlock()
 	return o
+}
+
+// etaSecondsLocked estimates the remaining wall-clock seconds of the current
+// Prewarm pass (callers hold mu); ok is false until the estimator has a real
+// duration to calibrate against.
+func (s *Scheduler) etaSecondsLocked() (float64, bool) {
+	if s.done == 0 || s.done >= s.total || !s.est.calibrated() {
+		return 0, false
+	}
+	remaining := s.est.remainingSeconds()
+	if workers := s.workers; workers > 1 {
+		remaining /= float64(workers)
+	}
+	// Remaining cells that will be cache hits are discounted by the pass's
+	// observed compute ratio.
+	remaining *= float64(s.computed) / float64(s.done)
+	return remaining, true
 }
 
 // emitProgressLocked prints a live progress/ETA line; callers hold mu. Lines
@@ -385,14 +454,8 @@ func (s *Scheduler) emitProgressLocked(c Cell, cached bool) {
 	// was wildly optimistic early on: cheap ssca2 cells finish first and
 	// dragged the mean far below what the pending labyrinth cells cost.
 	// Until a real duration exists (estimates are in prior units) no ETA is
-	// shown; remaining cells that will be cache hits are discounted by the
-	// pass's observed compute ratio.
-	if s.done > 0 && s.done < s.total && s.est.calibrated() {
-		remaining := s.est.remainingSeconds()
-		if workers := s.workers; workers > 1 {
-			remaining /= float64(workers)
-		}
-		remaining *= float64(s.computed) / float64(s.done)
+	// shown.
+	if remaining, ok := s.etaSecondsLocked(); ok {
 		eta := time.Duration(remaining * float64(time.Second))
 		line += fmt.Sprintf(" eta=%s", eta.Round(time.Second))
 	}
@@ -462,6 +525,14 @@ func (s *Scheduler) Prewarm(cells []Cell) Summary {
 	s.start = time.Now()
 	s.mu.Unlock()
 
+	// The live worker table (dashboard + stalled-cell detection) follows
+	// this pass's pool; earlier tables from previous passes are replaced.
+	var workers *obs.WorkerTable
+	if tel := s.cfg.Telemetry; tel != nil {
+		workers = obs.NewWorkerTable(jobs)
+		tel.SetWorkers(workers)
+	}
+
 	var steals atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
@@ -476,8 +547,18 @@ func (s *Scheduler) Prewarm(cells []Cell) Summary {
 						return
 					}
 					steals.Add(1)
+					if workers != nil {
+						workers.NoteSteal(self)
+						s.tc.steals.Inc(self)
+					}
+				}
+				if workers != nil {
+					workers.Begin(self, c.Label())
 				}
 				s.obtain(c, true)
+				if workers != nil {
+					workers.End(self)
+				}
 			}
 		}(i)
 	}

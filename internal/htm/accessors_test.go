@@ -1,0 +1,120 @@
+package htm
+
+import (
+	"testing"
+
+	"htmcmp/internal/mem"
+	"htmcmp/internal/platform"
+)
+
+// TestEngineAndThreadAccessors pins the small read-only surface the harness
+// and telemetry layers depend on: configuration echo, stats reset, scheduler
+// handoffs, slot/stats getters, and the read-only load family.
+func TestEngineAndThreadAccessors(t *testing.T) {
+	e := stmEngine(t, 2)
+	th := e.Thread(0)
+
+	if got := e.Config().Threads; got != 2 {
+		t.Errorf("Config().Threads = %d, want 2", got)
+	}
+	if e.Virtual() {
+		t.Error("real-concurrency engine reports Virtual")
+	}
+	if got := e.SchedHandoffs(); got != 0 {
+		t.Errorf("SchedHandoffs without a scheduler = %d, want 0", got)
+	}
+	if got := th.Slot(); got != 0 {
+		t.Errorf("Slot = %d, want 0", got)
+	}
+	if th.Suspended() {
+		t.Error("Suspended outside a transaction")
+	}
+
+	a := th.Alloc(64)
+	if ok, _ := th.TryTx(TxNormal, func() { th.Store64(a, 0x41) }); !ok {
+		t.Fatal("tx aborted")
+	}
+	if got := th.Stats().Commits; got != 1 {
+		t.Errorf("thread Stats().Commits = %d, want 1", got)
+	}
+	e.ResetStats()
+	if got := th.Stats().Commits; got != 0 {
+		t.Errorf("Commits after ResetStats = %d", got)
+	}
+
+	// Read-only loads see committed data without joining a read set.
+	if got := th.LoadRO64(a); got != 0x41 {
+		t.Errorf("LoadRO64 = %#x, want 0x41", got)
+	}
+	if got := th.LoadRO8(a); got != 0x41 {
+		t.Errorf("LoadRO8 = %#x, want 0x41", got)
+	}
+	th.StoreFloat64(a+8, 1.5)
+	if got := th.LoadROFloat64(a + 8); got != 1.5 {
+		t.Errorf("LoadROFloat64 = %v, want 1.5", got)
+	}
+
+	b := th.AllocAligned(128, 64)
+	if b%64 != 0 {
+		t.Errorf("AllocAligned returned %#x, not 64-byte aligned", b)
+	}
+
+	ptr := th.Alloc(64)
+	th.StorePtr(ptr, a)
+	if got := th.LoadPtr(ptr); got != a {
+		t.Errorf("LoadPtr = %#x, want %#x", got, a)
+	}
+}
+
+func TestAlignedSpaceSize(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 64},
+		{63, 64},
+		{64, 64},
+		{65, 72},
+		{128, 128},
+	}
+	for _, c := range cases {
+		if got := alignedSpaceSize(c.in); got != c.want {
+			t.Errorf("alignedSpaceSize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAbortIsCapacity(t *testing.T) {
+	if !(Abort{Reason: ReasonCapacityLoad}).IsCapacity() {
+		t.Error("capacity-load abort not classified as capacity")
+	}
+	if (Abort{Reason: ReasonConflict}).IsCapacity() {
+		t.Error("conflict abort classified as capacity")
+	}
+}
+
+// TestHybridGateAccessors exercises the hybrid-STM gate surface: disabled by
+// default, a stable gate line once enabled, and an STM fence that leaves the
+// sequence lock even (writers can still commit afterwards).
+func TestHybridGateAccessors(t *testing.T) {
+	e := New(platform.New(platform.ZEC12), Config{
+		Threads: 1, SpaceSize: 8 << 20, Seed: 21, Virtual: true, CostScale: 0,
+		DisableCacheFetchAborts: true,
+	})
+	th := e.Thread(0)
+	th.Register()
+	th.BeginWork()
+	defer th.ExitWork()
+	if e.HybridEnabled() {
+		t.Error("hybrid enabled before EnableHybridSTM")
+	}
+	if got := e.HybridGate(); got != mem.Nil {
+		t.Errorf("gate before enable = %#x, want mem.Nil", got)
+	}
+	gate := e.EnableHybridSTM()
+	if !e.HybridEnabled() || e.HybridGate() != gate {
+		t.Errorf("after enable: enabled=%v gate=%#x want %#x", e.HybridEnabled(), e.HybridGate(), gate)
+	}
+	e.STMFence(th)
+	a := th.Alloc(64)
+	if ok, _ := th.TrySTM(func() { th.Store64(a, 3) }); !ok {
+		t.Error("STM writer cannot commit after STMFence returned")
+	}
+}

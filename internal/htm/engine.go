@@ -148,6 +148,14 @@ type Config struct {
 	// determinism test). Threads whose slot exceeds Tracer.Threads() record
 	// nothing.
 	Tracer *obs.Tracer
+	// Metrics, when set, receives live counter bumps at transaction
+	// boundaries (begins, commits, aborts by reason, mode switches) for the
+	// telemetry registry. Same cost contract as Tracer: nil costs one check
+	// per boundary, non-nil a few striped atomic adds that never advance
+	// virtual time, so simulated results are identical either way. One
+	// EngineMetrics may be shared across concurrent engines — counters
+	// stripe by thread slot.
+	Metrics *obs.EngineMetrics
 	// Witness, when set, records the commit-order witness log consumed by
 	// the verify.Replay serializability oracle: each committed
 	// transaction's read set (line, version, value hash) and write set

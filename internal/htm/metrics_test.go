@@ -1,0 +1,110 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"htmcmp/internal/obs"
+	"htmcmp/internal/platform"
+)
+
+// metricsEngine builds a 1-thread zEC12 engine with a live metrics handle
+// attached (CostScale 0, cache-fetch aborts off: transactions only abort
+// when the test asks them to).
+func metricsEngine(t *testing.T, threads int) (*Engine, *obs.EngineMetrics) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	met := obs.NewEngineMetrics(reg, NumReasons, 3)
+	e := New(platform.New(platform.ZEC12), Config{
+		Threads: threads, SpaceSize: 8 << 20, Seed: 7, CostScale: 0,
+		DisableCacheFetchAborts: true, Metrics: met,
+	})
+	return e, met
+}
+
+// TestEngineMetricsPublication drives every metrics publication point —
+// HTM begin/commit/rollback, the STM boundaries, and the mode-switch feed —
+// and checks the registry totals against what actually ran.
+func TestEngineMetricsPublication(t *testing.T) {
+	e, met := metricsEngine(t, 1)
+	th := e.Thread(0)
+	a := th.Alloc(64)
+
+	// HTM: one committed transaction, one explicit abort.
+	if ok, _ := th.TryTx(TxNormal, func() { th.Store64(a, 1) }); !ok {
+		t.Fatal("uncontended HTM tx aborted")
+	}
+	if ok, _ := th.TryTx(TxNormal, func() { th.Abort() }); ok {
+		t.Fatal("explicitly aborted HTM tx committed")
+	}
+
+	// STM: same pair through the NOrec path.
+	if ok, _ := th.TrySTM(func() { th.Store64(a, 2) }); !ok {
+		t.Fatal("uncontended STM tx aborted")
+	}
+	if ok, _ := th.TrySTM(func() { th.Abort() }); ok {
+		t.Fatal("explicitly aborted STM tx committed")
+	}
+
+	// Mode switches feed the counter even with tracing off (the adaptive
+	// runtime reports transitions through TraceEvent with Reason = to-mode).
+	th.TraceEvent(obs.Event{Kind: obs.KindModeSwitch, Reason: 1})
+
+	if got := met.Begins.Value(); got != 4 {
+		t.Errorf("begins = %d, want 4", got)
+	}
+	if got := met.Commits.Value(); got != 2 {
+		t.Errorf("commits = %d, want 2", got)
+	}
+	if got := met.Aborts.Value(); got != 2 {
+		t.Errorf("aborts = %d, want 2", got)
+	}
+	if got := met.ByReason[ReasonExplicit].Value(); got != 2 {
+		t.Errorf("explicit-reason aborts = %d, want 2", got)
+	}
+	if got := met.ByMode[1].Value(); got != 1 {
+		t.Errorf("mode switches to mode 1 = %d, want 1", got)
+	}
+}
+
+// TestEngineMetricsMatchStats cross-checks the registry against the
+// engine's own counters under real contention: whatever mix of commits and
+// aborts eight threads produce, both accountings must agree exactly.
+func TestEngineMetricsMatchStats(t *testing.T) {
+	e, met := metricsEngine(t, 8)
+	counter := e.Thread(0).Alloc(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			th := e.Thread(tid)
+			for j := 0; j < 200; j++ {
+				for {
+					ok, _ := th.TryTx(TxNormal, func() {
+						th.Store64(counter, th.Load64(counter)+1)
+					})
+					if ok {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if got := met.Begins.Value(); got != st.Begins {
+		t.Errorf("registry begins = %d, engine stats = %d", got, st.Begins)
+	}
+	if got := met.Commits.Value(); got != st.Commits {
+		t.Errorf("registry commits = %d, engine stats = %d", got, st.Commits)
+	}
+	if got := met.Aborts.Value(); got != st.Aborts {
+		t.Errorf("registry aborts = %d, engine stats = %d", got, st.Aborts)
+	}
+	for r := 0; r < NumReasons; r++ {
+		if got := met.ByReason[r].Value(); got != st.AbortsByReason[r] {
+			t.Errorf("registry %v aborts = %d, engine stats = %d", Reason(r), got, st.AbortsByReason[r])
+		}
+	}
+}

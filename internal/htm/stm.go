@@ -87,6 +87,9 @@ func (t *Thread) stmBegin() {
 	t.stm.order = t.stm.order[:0]
 	t.stm.writes.reset()
 	t.pendingAbort = Abort{}
+	if t.metrics != nil {
+		t.metrics.Begins.Inc(t.slot)
+	}
 	t.stats.Begins++
 	t.work(t.eng.scaledCost(stmBeginCost))
 	// Snapshot an even (unlocked) sequence number.
@@ -102,6 +105,9 @@ func (t *Thread) stmBegin() {
 
 func (t *Thread) stmRollback() {
 	t.stm.active = false
+	if t.metrics != nil {
+		t.metrics.Abort(t.slot, uint8(t.pendingAbort.Reason))
+	}
 	t.stats.Aborts++
 	t.stats.AbortsByReason[t.pendingAbort.Reason]++
 	for _, a := range t.allocs {
@@ -170,6 +176,9 @@ func (t *Thread) stmCommit() {
 	if len(st.order) == 0 {
 		// Read-only: NOrec commits without the lock.
 		st.active = false
+		if t.metrics != nil {
+			t.metrics.Commits.Inc(t.slot)
+		}
 		t.stats.Commits++
 		t.work(t.eng.scaledCost(stmCommitCost) / 2)
 		t.allocs = t.allocs[:0]
@@ -203,6 +212,9 @@ func (t *Thread) stmCommit() {
 	t.work(t.eng.scaledCost(stmCommitCost) + len(st.order))
 	t.eng.stmSeq.Store(st.snapshot + 2)
 	st.active = false
+	if t.metrics != nil {
+		t.metrics.Commits.Inc(t.slot)
+	}
 	t.stats.Commits++
 	if s := t.eng.cfg.FootprintSampler; s != nil {
 		s(len(st.readLog), len(st.order))

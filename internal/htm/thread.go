@@ -106,6 +106,9 @@ type Thread struct {
 	trace      *obs.Ring
 	beginClock uint64
 	retryDepth uint16
+	// metrics caches cfg.Metrics: nil means live telemetry is off and each
+	// boundary pays one nil check, exactly like trace.
+	metrics *obs.EngineMetrics
 
 	// Witness-log state (witness.go). wit caches cfg.Witness: nil means
 	// recording is off and every hook is one nil check. witSeen dedupes
@@ -164,6 +167,7 @@ func newThread(e *Engine, slot int) *Thread {
 	if e.cfg.Tracer != nil {
 		t.trace = e.cfg.Tracer.Ring(slot)
 	}
+	t.metrics = e.cfg.Metrics
 	if e.cfg.Witness != nil {
 		t.wit = e.cfg.Witness
 		t.witSeen.init()
@@ -409,6 +413,9 @@ func (t *Thread) begin(kind TxKind) {
 			Aborter: obs.NoThread, Line: obs.NoLine, VClock: t.vclock,
 		})
 	}
+	if t.metrics != nil {
+		t.metrics.Begins.Inc(t.slot)
+	}
 	t.status.Store(statusActive)
 	t.eng.cores[t.core].activeTx.Add(1)
 	t.eng.activeTx.Add(1)
@@ -504,6 +511,9 @@ func (t *Thread) commit() {
 	if t.wit != nil {
 		t.witnessCommitRecord(witSeq)
 	}
+	if t.metrics != nil {
+		t.metrics.Commits.Inc(t.slot)
+	}
 	t.finishTx()
 	t.stats.Commits++
 	// Deferred frees become visible only now that the transaction is
@@ -530,6 +540,9 @@ func (t *Thread) rollback() {
 		if t.retryDepth < ^uint16(0) {
 			t.retryDepth++
 		}
+	}
+	if t.metrics != nil {
+		t.metrics.Abort(t.slot, uint8(t.pendingAbort.Reason))
 	}
 	for _, line := range t.writeOrder {
 		buf, _ := t.ws.get(line)
@@ -598,6 +611,11 @@ func (t *Thread) finishTx() {
 // switches) into this thread's trace ring, filling in the Thread and VClock
 // fields. Recording charges no virtual time; a no-op when tracing is off.
 func (t *Thread) TraceEvent(ev obs.Event) {
+	if t.metrics != nil && ev.Kind == obs.KindModeSwitch {
+		// Mode-switch events double as the live mode-switch counter feed
+		// (ev.Reason carries the to-mode code, as in jsonl.go's wire schema).
+		t.metrics.ModeSwitch(t.slot, ev.Reason)
+	}
 	if t.trace == nil {
 		return
 	}

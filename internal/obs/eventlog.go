@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+)
+
+// EventLog is the flight recorder's rolling event store: a bounded queue of
+// drained tracer segments, one per finished unit of work (a sweep cell, a
+// benchmark repeat). Tracers are drained only once their producers are
+// quiescent, so the log never races live rings; when the segment budget is
+// exceeded the oldest segment is evicted, keeping memory bounded during
+// long sweeps.
+//
+// Segments stay separate through to dump time: virtual clocks restart at
+// zero for every cell, so concatenating segments into one stream would trip
+// Validate's per-thread monotone-clock check. Each segment instead dumps to
+// its own headered JSONL file.
+
+// DefaultLogSegments is the default retained-segment budget.
+const DefaultLogSegments = 64
+
+// Segment is one drained, self-consistent event stream plus its ring
+// provenance counters.
+type Segment struct {
+	Label    string // human identity, e.g. a cell key ("p8-fig2-4t#1")
+	Events   []Event
+	Recorded uint64 // ring events ever recorded while producing this segment
+	Dropped  uint64 // ring events lost to overwrites
+}
+
+// Header returns the segment's JSONL stream header.
+func (s *Segment) Header() StreamHeader {
+	return StreamHeader{Events: uint64(len(s.Events)), Recorded: s.Recorded, Dropped: s.Dropped}
+}
+
+// EventLog accumulates recent segments. Safe for concurrent use.
+type EventLog struct {
+	mu      sync.Mutex
+	max     int
+	segs    []Segment
+	added   uint64
+	evicted uint64
+}
+
+// NewEventLog returns a log retaining at most maxSegments recent segments
+// (<= 0 selects DefaultLogSegments).
+func NewEventLog(maxSegments int) *EventLog {
+	if maxSegments <= 0 {
+		maxSegments = DefaultLogSegments
+	}
+	return &EventLog{max: maxSegments}
+}
+
+// Add appends a segment, evicting the oldest if over budget.
+func (l *EventLog) Add(seg Segment) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.segs = append(l.segs, seg)
+	l.added++
+	if len(l.segs) > l.max {
+		over := len(l.segs) - l.max
+		l.segs = append(l.segs[:0:0], l.segs[over:]...)
+		l.evicted += uint64(over)
+	}
+}
+
+// Drain captures a quiescent tracer's merged events as a new segment and
+// resets the tracer for reuse.
+func (l *EventLog) Drain(label string, t *Tracer) {
+	seg := Segment{
+		Label:    label,
+		Events:   t.Events(),
+		Recorded: t.Recorded(),
+		Dropped:  t.Dropped(),
+	}
+	t.Reset()
+	l.Add(seg)
+}
+
+// Len returns the number of retained segments.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Added and Evicted return lifetime segment counts.
+func (l *EventLog) Added() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.added
+}
+
+func (l *EventLog) Evicted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evicted
+}
+
+// Snapshot returns a shallow copy of the retained segments, oldest first
+// (event slices are shared — segments are append-only once added).
+func (l *EventLog) Snapshot() []Segment {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Segment(nil), l.segs...)
+}
+
+// DumpDir writes every retained segment as a headered JSONL file under dir
+// (which must exist), named rings-<index>-<label>.jsonl, and returns the
+// written paths.
+func (l *EventLog) DumpDir(dir string) ([]string, error) {
+	segs := l.Snapshot()
+	paths := make([]string, 0, len(segs))
+	for i, seg := range segs {
+		name := fmt.Sprintf("rings-%03d-%s.jsonl", i, sanitizeLabel(seg.Label))
+		path := filepath.Join(dir, name)
+		if err := WriteJSONLStreamFile(path, seg.Header(), seg.Events); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// sanitizeLabel maps a segment label to a safe file-name fragment.
+func sanitizeLabel(s string) string {
+	if s == "" {
+		return "seg"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) > 80 {
+		b = b[:80]
+	}
+	return string(b)
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEventLogDrainAndEvict(t *testing.T) {
+	l := NewEventLog(2)
+	for i := 0; i < 3; i++ {
+		tr := NewTracer(1, 8)
+		tr.Ring(0).Record(mkBegin(0, uint64(i)))
+		tr.Ring(0).Record(mkCommit(0, uint64(i)+10, 5))
+		l.Drain("cell-"+itoa(i), tr)
+		if tr.Recorded() != 0 {
+			t.Fatal("Drain did not reset the tracer")
+		}
+	}
+	if l.Len() != 2 || l.Added() != 3 || l.Evicted() != 1 {
+		t.Fatalf("Len=%d Added=%d Evicted=%d", l.Len(), l.Added(), l.Evicted())
+	}
+	segs := l.Snapshot()
+	if segs[0].Label != "cell-1" || segs[1].Label != "cell-2" {
+		t.Fatalf("labels = %q, %q (oldest evicted?)", segs[0].Label, segs[1].Label)
+	}
+	if segs[0].Recorded != 2 || segs[0].Dropped != 0 || len(segs[0].Events) != 2 {
+		t.Fatalf("segment provenance = %+v", segs[0])
+	}
+}
+
+func TestEventLogDumpDirValidates(t *testing.T) {
+	dir := t.TempDir()
+	l := NewEventLog(0)
+	tr := NewTracer(2, 8)
+	tr.Ring(0).Record(mkBegin(0, 1))
+	tr.Ring(0).Record(mkCommit(0, 9, 5))
+	tr.Ring(1).Record(mkBegin(1, 2))
+	tr.Ring(1).Record(mkAbort(1, 7, 3, 1, 0, 12, 0))
+	l.Drain("p8/fig2 4t#1", tr)
+
+	tr2 := NewTracer(1, 8)
+	tr2.Ring(0).Record(mkBegin(0, 0)) // clocks restart: must live in its own file
+	l.Drain("second", tr2)
+
+	paths, err := l.DumpDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if base := filepath.Base(paths[0]); base != "rings-000-p8_fig2_4t_1.jsonl" {
+		t.Fatalf("sanitised name = %q", base)
+	}
+	wantEvents := []int{4, 1}
+	for i, p := range paths {
+		n, err := ValidateFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if n != wantEvents[i] {
+			t.Fatalf("%s: %d events, want %d", p, n, wantEvents[i])
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := strings.SplitN(string(raw), "\n", 2)[0]
+		if !strings.Contains(first, `"kind":"header"`) {
+			t.Fatalf("%s first line is not a header: %s", p, first)
+		}
+	}
+}
+
+func TestSegmentHeaderCountsDrops(t *testing.T) {
+	l := NewEventLog(4)
+	tr := NewTracer(1, 4) // tiny ring: 8 records drop 4
+	for i := 0; i < 8; i++ {
+		tr.Ring(0).Record(mkBegin(0, uint64(i)))
+	}
+	l.Drain("drops", tr)
+	seg := l.Snapshot()[0]
+	h := seg.Header()
+	if h.Recorded != 8 || h.Dropped != 4 || h.Events != 4 {
+		t.Fatalf("header = %+v", h)
+	}
+	dir := t.TempDir()
+	paths, err := l.DumpDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateFile(paths[0]); err != nil {
+		t.Fatalf("dropped-segment stream invalid: %v", err)
+	}
+}

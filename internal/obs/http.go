@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Embedded HTTP exposition: /metrics (Prometheus text 0.0.4), /api/state
+// (JSON snapshot), /api/stream (the same snapshot pushed as Server-Sent
+// Events at the sampler's cadence), and / (the self-contained dashboard).
+// The server reads registry atomics and mutex-guarded snapshots only, so
+// scrapes never perturb a running sweep.
+
+type httpServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func startHTTPServer(addrSpec string, t *Telemetry) (*httpServer, error) {
+	ln, err := net.Listen("tcp", addrSpec)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := t.Registry.WritePromText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/api/state", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(t.State(streamPoints)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/api/stream", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(w, r, t)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, dashboardHTML)
+	})
+	s := &httpServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// Serve returns ErrServerClosed on clean shutdown; anything else is
+		// already surfaced to clients as failed requests.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+func (s *httpServer) addr() string { return s.ln.Addr().String() }
+
+func (s *httpServer) close() error { return s.srv.Close() }
+
+// streamPoints bounds how much series history each state payload carries:
+// enough for a dashboard sparkline, small enough to push every tick.
+const streamPoints = 120
+
+// serveSSE pushes the state snapshot as SSE "data:" frames at the sampler's
+// interval until the client disconnects.
+func serveSSE(w http.ResponseWriter, r *http.Request, t *Telemetry) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	interval := t.Sampler.Interval()
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		payload, err := json.Marshal(t.State(streamPoints))
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+			return
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}

@@ -66,6 +66,32 @@ func toJSON(ev Event) eventJSON {
 	return j
 }
 
+// StreamHeader declares the provenance of a JSONL event stream: how many
+// events follow, how many the producing ring ever recorded, and how many
+// were lost to overwrites. With a header present, Validate cross-checks the
+// actual event count against the declaration, so silent ring truncation is
+// caught at check time instead of read time.
+type StreamHeader struct {
+	Events   uint64 `json:"events"`
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// headerJSON is the JSONL wire form of a StreamHeader (always line one).
+type headerJSON struct {
+	Kind     string `json:"kind"`
+	Events   uint64 `json:"events"`
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// HeaderFor builds the stream header matching a quiescent tracer's retained
+// events and ring counters.
+func HeaderFor(t *Tracer) StreamHeader {
+	rec, drop := t.Recorded(), t.Dropped()
+	return StreamHeader{Events: rec - drop, Recorded: rec, Dropped: drop}
+}
+
 // WriteJSONL writes events as JSON Lines: one object per event, schema as
 // validated by ValidateFile.
 func WriteJSONL(w io.Writer, events []Event) error {
@@ -77,6 +103,41 @@ func WriteJSONL(w io.Writer, events []Event) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteJSONLStream writes a header line followed by the events. hdr.Events
+// should equal len(events) — Validate will reject the stream otherwise.
+func WriteJSONLStream(w io.Writer, hdr StreamHeader, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerJSON{
+		Kind:     "header",
+		Events:   hdr.Events,
+		Recorded: hdr.Recorded,
+		Dropped:  hdr.Dropped,
+	}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := enc.Encode(toJSON(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLStreamFile writes a headered stream to path, creating or
+// truncating it.
+func WriteJSONLStreamFile(path string, hdr StreamHeader, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONLStream(f, hdr, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // WriteJSONLFile writes events to path, creating or truncating it.
@@ -95,22 +156,47 @@ func WriteJSONLFile(path string, events []Event) error {
 // Validate checks an event stream in JSONL form against the schema: every
 // line must parse with no unknown fields, kinds and reasons must be
 // well-formed, durations must not exceed the event clock, and each thread's
-// clock must be non-decreasing. It returns the number of events read.
+// clock must be non-decreasing. An optional header on the first line (kind
+// "header", written by WriteJSONLStream) must declare an event count
+// consistent with its recorded/dropped ring counters and with the events
+// that actually follow. It returns the number of events read.
 func Validate(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	count := 0
+	first := true
+	var hdr *headerJSON
 	lastClock := map[uint8]uint64{}
 	for lineNo := 1; sc.Scan(); lineNo++ {
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
+		if first {
+			first = false
+			if h, ok, err := parseHeaderLine(raw); err != nil {
+				return count, fmt.Errorf("line %d: %v", lineNo, err)
+			} else if ok {
+				if h.Recorded < h.Dropped {
+					return count, fmt.Errorf("line %d: header dropped %d exceeds recorded %d",
+						lineNo, h.Dropped, h.Recorded)
+				}
+				if h.Events != h.Recorded-h.Dropped {
+					return count, fmt.Errorf("line %d: header declares %d events but recorded %d - dropped %d = %d",
+						lineNo, h.Events, h.Recorded, h.Dropped, h.Recorded-h.Dropped)
+				}
+				hdr = h
+				continue
+			}
+		}
 		dec := json.NewDecoder(bytes.NewReader(raw))
 		dec.DisallowUnknownFields()
 		var j eventJSON
 		if err := dec.Decode(&j); err != nil {
 			return count, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if j.Kind == "header" {
+			return count, fmt.Errorf("line %d: header after the first line", lineNo)
 		}
 		switch j.Kind {
 		case "begin":
@@ -151,7 +237,28 @@ func Validate(r io.Reader) (int, error) {
 	if err := sc.Err(); err != nil {
 		return count, err
 	}
+	if hdr != nil && uint64(count) != hdr.Events {
+		return count, fmt.Errorf("header declares %d events but stream holds %d", hdr.Events, count)
+	}
 	return count, nil
+}
+
+// parseHeaderLine strictly decodes raw as a header line; ok reports whether
+// the line is a header at all (a non-header first line is not an error).
+func parseHeaderLine(raw []byte) (*headerJSON, bool, error) {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if json.Unmarshal(raw, &probe) != nil || probe.Kind != "header" {
+		return nil, false, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var h headerJSON
+	if err := dec.Decode(&h); err != nil {
+		return nil, true, fmt.Errorf("malformed header: %v", err)
+	}
+	return &h, true, nil
 }
 
 // ValidateFile is Validate over the file at path. CI uses it to guard the
@@ -189,6 +296,9 @@ func ReadJSONLFile(path string) ([]Event, error) {
 		var j eventJSON
 		if err := json.Unmarshal(raw, &j); err != nil {
 			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		if j.Kind == "header" && out == nil && lineNo == 1 {
+			continue
 		}
 		ev := Event{
 			Thread:     j.Thread,

@@ -33,7 +33,9 @@ type chromeTrace struct {
 // track per simulated thread with the virtual clock as the time axis. Open
 // the output in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func WriteChromeTrace(w io.Writer, events []Event) error {
-	doc := chromeTrace{DisplayTimeUnit: "ns"}
+	// TraceEvents starts non-nil so an empty trace still serialises as
+	// "traceEvents": [] — viewers reject a JSON null there.
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
 
 	threads := map[uint8]bool{}
 	for _, ev := range events {
@@ -60,6 +62,12 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				name = "abort:" + ReasonName(ev.Reason)
 			}
 			dur := ev.Dur
+			// Clamp rather than underflow when a malformed event claims a
+			// duration longer than its clock.
+			ts := uint64(0)
+			if ev.VClock >= ev.Dur {
+				ts = ev.VClock - ev.Dur
+			}
 			args := map[string]any{
 				"read_lines":  ev.ReadLines,
 				"write_lines": ev.WriteLines,
@@ -68,7 +76,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name:  name,
 				Phase: "X",
-				TS:    ev.VClock - ev.Dur,
+				TS:    ts,
 				Dur:   &dur,
 				PID:   0,
 				TID:   int(ev.Thread),

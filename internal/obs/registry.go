@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Live metrics registry. The post-hoc sinks in this package (JSONL,
+// Perfetto, Aggregate) explain a run after it ends; the Registry is the
+// live counterpart: engines, the adaptive runtime and the sweep scheduler
+// publish into named counters, gauges and fixed-bucket histograms while
+// they run, and the Sampler (series.go) and HTTP server (http.go) read
+// them back concurrently.
+//
+// Cost contract, mirroring the tracer's: publishers hold pre-resolved
+// handles (registration allocates, publication never does) behind a single
+// nil check, so a run without telemetry pays exactly that nil check per
+// transaction boundary and nothing per access. Publication never charges
+// virtual time, so fixed-seed simulated results are identical with the
+// registry attached and detached (pinned by internal/tm's determinism
+// tests).
+
+// counterStripes is the number of cache-line-padded cells a Counter spreads
+// its adds over. Publishers pass a stripe hint (their thread slot or worker
+// index) so concurrent engines do not serialise on one hot cache line.
+// Power of two.
+const counterStripes = 8
+
+// stripe is one padded counter cell.
+type stripe struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing metric. Safe for concurrent use;
+// reads may race writes and see any point-in-time sum.
+type Counter struct {
+	name    string
+	stripes [counterStripes]stripe
+}
+
+// Name returns the full metric name (including any label set).
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by delta. hint selects the stripe — pass a
+// stable small integer (thread slot, worker index) to spread contention;
+// any value is safe.
+func (c *Counter) Add(hint int, delta uint64) {
+	c.stripes[uint(hint)&(counterStripes-1)].v.Add(delta)
+}
+
+// Inc is Add(hint, 1).
+func (c *Counter) Inc(hint int) { c.Add(hint, 1) }
+
+// Value returns the current sum across stripes.
+func (c *Counter) Value() uint64 {
+	var n uint64
+	for i := range c.stripes {
+		n += c.stripes[i].v.Load()
+	}
+	return n
+}
+
+// Gauge is a metric that can go up and down (an instantaneous level: queue
+// depth, busy workers, remaining ETA). Stores are last-writer-wins.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the full metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the gauge level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution of integer observations (cell
+// durations in milliseconds, commit latencies in cycles). Buckets are
+// cumulative in exposition (Prometheus style) but stored per-interval.
+// Observe is lock-free; the bucket bounds are immutable after creation.
+type Histogram struct {
+	name   string
+	bounds []uint64 // sorted upper bounds; implicit +Inf bucket at the end
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	total  atomic.Uint64
+}
+
+// Name returns the full metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []uint64 // upper bounds; the final count row is the +Inf bucket
+	Counts []uint64 // per-bucket (non-cumulative) counts, len(Bounds)+1
+	Sum    uint64
+	Total  uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   h.name,
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Total = h.total.Load()
+	return s
+}
+
+// Registry is a named collection of live metrics. Registration (Counter,
+// Gauge, Histogram) takes a mutex and may allocate; it is meant for setup
+// paths. The returned handles are stable for the registry's lifetime —
+// publishers cache them and never touch the registry maps again.
+//
+// Metric names follow Prometheus conventions: a base name of
+// [a-zA-Z_][a-zA-Z0-9_]* optionally followed by a {label="value"} set.
+// Metrics sharing a base name (one per label set) are grouped under one
+// # TYPE line in the exposition.
+type Registry struct {
+	mu     sync.Mutex
+	cnt    map[string]*Counter
+	gau    map[string]*Gauge
+	hist   map[string]*Histogram
+	sealed []string // sorted name cache, invalidated on registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		cnt:  map[string]*Counter{},
+		gau:  map[string]*Gauge{},
+		hist: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it at zero on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.cnt[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.cnt[name] = c
+		r.sealed = nil
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it at zero on
+// first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gau[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gau[name] = g
+		r.sealed = nil
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use (bounds are ignored for an
+// existing histogram). Bounds must be sorted ascending.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hist[name]
+	if h == nil {
+		b := append([]uint64(nil), bounds...)
+		h = &Histogram{
+			name:   name,
+			bounds: b,
+			counts: make([]atomic.Uint64, len(b)+1),
+		}
+		r.hist[name] = h
+		r.sealed = nil
+	}
+	return h
+}
+
+// Counters returns all registered counters sorted by name.
+func (r *Registry) Counters() []*Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Counter, 0, len(r.cnt))
+	for _, c := range r.cnt {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Gauges returns all registered gauges sorted by name.
+func (r *Registry) Gauges() []*Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Gauge, 0, len(r.gau))
+	for _, g := range r.gau {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Histograms returns all registered histograms sorted by name.
+func (r *Registry) Histograms() []*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Histogram, 0, len(r.hist))
+	for _, h := range r.hist {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// CounterValues returns a point-in-time name → value copy of every counter.
+func (r *Registry) CounterValues() map[string]uint64 {
+	counters := r.Counters()
+	out := make(map[string]uint64, len(counters))
+	for _, c := range counters {
+		out[c.name] = c.Value()
+	}
+	return out
+}
+
+// GaugeValues returns a point-in-time name → value copy of every gauge.
+func (r *Registry) GaugeValues() map[string]int64 {
+	gauges := r.Gauges()
+	out := make(map[string]int64, len(gauges))
+	for _, g := range gauges {
+		out[g.name] = g.Value()
+	}
+	return out
+}
+
+// EngineMetrics is the pre-resolved handle set an engine publishes through
+// (htm.Config.Metrics): transaction boundaries, aborts by reason, and
+// adaptive-runtime mode switches. One EngineMetrics is shared by every
+// engine of a sweep — counters stripe by thread slot, so concurrent cells
+// do not serialise. Reason and mode codes index the pre-built handle
+// slices; codes beyond the registered vocabulary fall back to the last
+// ("unknown") handle rather than allocating.
+type EngineMetrics struct {
+	Begins   *Counter
+	Commits  *Counter
+	Aborts   *Counter
+	ByReason []*Counter // indexed by engine reason code
+	ByMode   []*Counter // mode switches indexed by to-mode code
+}
+
+// NewEngineMetrics registers the engine counter set in reg: reasons and
+// modes size the per-code handle slices (label values come from the
+// registered reason/mode namers).
+func NewEngineMetrics(reg *Registry, reasons, modes int) *EngineMetrics {
+	m := &EngineMetrics{
+		Begins:  reg.Counter("htm_tx_begins_total"),
+		Commits: reg.Counter("htm_tx_commits_total"),
+		Aborts:  reg.Counter("htm_tx_aborts_total"),
+	}
+	if reasons < 1 {
+		reasons = 1
+	}
+	if modes < 1 {
+		modes = 1
+	}
+	m.ByReason = make([]*Counter, reasons)
+	for i := range m.ByReason {
+		m.ByReason[i] = reg.Counter(`htm_tx_aborts_by_reason_total{reason="` + ReasonName(uint8(i)) + `"}`)
+	}
+	m.ByMode = make([]*Counter, modes)
+	for i := range m.ByMode {
+		m.ByMode[i] = reg.Counter(`tm_mode_switches_total{to="` + ModeName(uint8(i)) + `"}`)
+	}
+	return m
+}
+
+// Abort bumps the total and per-reason abort counters.
+func (m *EngineMetrics) Abort(hint int, reason uint8) {
+	m.Aborts.Inc(hint)
+	i := int(reason)
+	if i >= len(m.ByReason) {
+		i = len(m.ByReason) - 1
+	}
+	m.ByReason[i].Inc(hint)
+}
+
+// ModeSwitch bumps the per-target-mode switch counter.
+func (m *EngineMetrics) ModeSwitch(hint int, to uint8) {
+	i := int(to)
+	if i >= len(m.ByMode) {
+		i = len(m.ByMode) - 1
+	}
+	m.ByMode[i].Inc(hint)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterStripesSum(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	for hint := 0; hint < 3*counterStripes; hint++ {
+		c.Add(hint, 2)
+	}
+	if got := c.Value(); got != uint64(2*3*counterStripes) {
+		t.Fatalf("Value = %d, want %d", got, 2*3*counterStripes)
+	}
+	c.Inc(-1) // negative hints must be safe
+	if got := c.Value(); got != uint64(2*3*counterStripes)+1 {
+		t.Fatalf("Value after Inc(-1) = %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(hint int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(hint)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryGetOrCreateIsStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Fatal("Counter handle not stable across lookups")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge handle not stable across lookups")
+	}
+	if r.Histogram("h", []uint64{1, 2}) != r.Histogram("h", []uint64{9}) {
+		t.Fatal("Histogram handle not stable across lookups")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", []uint64{10, 100})
+	for _, v := range []uint64{5, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// <=10: {5,10}; <=100: {11,100}; +Inf: {1000}
+	want := []uint64{2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Total != 5 || s.Sum != 5+10+11+100+1000 {
+		t.Fatalf("Total=%d Sum=%d", s.Total, s.Sum)
+	}
+}
+
+func TestRegistrySortedListings(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total")
+	r.Counter("a_total")
+	r.Gauge("m")
+	cs := r.Counters()
+	if len(cs) != 2 || cs[0].Name() != "a_total" || cs[1].Name() != "z_total" {
+		t.Fatalf("Counters not sorted: %v, %v", cs[0].Name(), cs[1].Name())
+	}
+	vals := r.CounterValues()
+	if len(vals) != 2 {
+		t.Fatalf("CounterValues len = %d", len(vals))
+	}
+	if gv := r.GaugeValues(); len(gv) != 1 || gv["m"] != 0 {
+		t.Fatalf("GaugeValues = %v", gv)
+	}
+}
+
+func TestEngineMetricsReasonLabelsAndClamp(t *testing.T) {
+	r := NewRegistry()
+	m := NewEngineMetrics(r, 3, 2)
+	m.Begins.Inc(0)
+	m.Commits.Inc(0)
+	m.Abort(0, 1)
+	m.Abort(1, 200) // out-of-vocabulary code clamps to the last handle
+	if got := m.Aborts.Value(); got != 2 {
+		t.Fatalf("Aborts = %d, want 2", got)
+	}
+	if got := m.ByReason[1].Value() + m.ByReason[2].Value(); got != 2 {
+		t.Fatalf("per-reason sum = %d, want 2", got)
+	}
+	m.ModeSwitch(0, 1)
+	m.ModeSwitch(0, 99)
+	if got := m.ByMode[1].Value(); got != 2 {
+		t.Fatalf("ByMode[1] = %d, want 2 (clamped)", got)
+	}
+	for _, c := range m.ByReason {
+		if !strings.HasPrefix(c.Name(), `htm_tx_aborts_by_reason_total{reason="`) {
+			t.Fatalf("reason counter name %q", c.Name())
+		}
+	}
+	for _, c := range m.ByMode {
+		if !strings.HasPrefix(c.Name(), `tm_mode_switches_total{to="`) {
+			t.Fatalf("mode counter name %q", c.Name())
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(3)
+	}
+}

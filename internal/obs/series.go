@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Time-series sampling. The registry answers "how many so far"; the paper's
+// central observation — abort behaviour is phase-dependent and platform-
+// dependent — needs "how fast right now". The Sampler periodically
+// snapshots every registry counter and gauge into fixed-capacity ring-
+// buffered series: raw values plus windowed rates (delta per second between
+// consecutive samples). Sampling reads only atomics and its own state, from
+// its own goroutine, on the wall clock — it charges no virtual time and
+// perturbs nothing, so fixed-seed runs sampled and unsampled produce
+// byte-identical results.
+
+// DefaultSeriesCap is the default number of retained points per series: at
+// the default 500ms interval, five minutes of history.
+const DefaultSeriesCap = 600
+
+// Series is one metric's rolling history. All fields are guarded by the
+// owning Sampler's mutex.
+type Series struct {
+	name  string
+	times []int64 // unix milliseconds, ring
+	vals  []float64
+	rates []float64 // per-second delta for counters; 0 for gauges
+	head  int       // next write slot
+	n     int       // filled slots
+}
+
+func newSeries(name string, capacity int) *Series {
+	return &Series{
+		name:  name,
+		times: make([]int64, capacity),
+		vals:  make([]float64, capacity),
+		rates: make([]float64, capacity),
+	}
+}
+
+func (s *Series) push(t int64, val, rate float64) {
+	s.times[s.head] = t
+	s.vals[s.head] = val
+	s.rates[s.head] = rate
+	s.head = (s.head + 1) % len(s.times)
+	if s.n < len(s.times) {
+		s.n++
+	}
+}
+
+// SeriesSnapshot is a copied, oldest-first view of one series.
+type SeriesSnapshot struct {
+	Name  string    `json:"name"`
+	Times []int64   `json:"times_ms"`
+	Vals  []float64 `json:"values"`
+	Rates []float64 `json:"rates"`
+}
+
+func (s *Series) snapshot(maxPoints int) SeriesSnapshot {
+	n := s.n
+	if maxPoints > 0 && n > maxPoints {
+		n = maxPoints
+	}
+	out := SeriesSnapshot{
+		Name:  s.name,
+		Times: make([]int64, n),
+		Vals:  make([]float64, n),
+		Rates: make([]float64, n),
+	}
+	start := s.head - n
+	if start < 0 {
+		start += len(s.times)
+	}
+	for i := 0; i < n; i++ {
+		j := (start + i) % len(s.times)
+		out.Times[i] = s.times[j]
+		out.Vals[i] = s.vals[j]
+		out.Rates[i] = s.rates[j]
+	}
+	return out
+}
+
+// Sampler periodically snapshots a Registry into per-metric Series rings.
+// Create with NewSampler, then either Start a background goroutine or call
+// Tick yourself (tests, single-step tools).
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	capacity int
+
+	mu     sync.Mutex
+	series map[string]*Series
+	prev   map[string]uint64 // counter values at the previous tick
+	prevT  time.Time
+	ticks  uint64
+
+	// onSample hooks run after each tick with the fresh rates (the flight
+	// recorder's anomaly watch). Registered before Start; called from the
+	// sampler goroutine.
+	onSample []func(now time.Time, rates map[string]float64)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler builds a sampler over reg. interval <= 0 selects 500ms;
+// capacity <= 0 selects DefaultSeriesCap points per series.
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if capacity <= 0 {
+		capacity = DefaultSeriesCap
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		capacity: capacity,
+		series:   map[string]*Series{},
+		prev:     map[string]uint64{},
+	}
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// OnSample registers a per-tick hook (e.g. the flight recorder's anomaly
+// check). Must be called before Start.
+func (s *Sampler) OnSample(f func(now time.Time, rates map[string]float64)) {
+	s.onSample = append(s.onSample, f)
+}
+
+// Start launches the background sampling goroutine. Stop stops it.
+func (s *Sampler) Start() {
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-tick.C:
+				s.Tick(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the background goroutine (no-op if never started) and takes a
+// final sample so short runs still end with fresh series.
+func (s *Sampler) Stop() {
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+	s.Tick(time.Now())
+}
+
+// Tick takes one sample at the given wall-clock time. Exported so tests and
+// single-threaded tools can drive the sampler without the goroutine.
+func (s *Sampler) Tick(now time.Time) {
+	counters := s.reg.CounterValues()
+	gauges := s.reg.GaugeValues()
+
+	s.mu.Lock()
+	dt := now.Sub(s.prevT).Seconds()
+	ms := now.UnixMilli()
+	rates := make(map[string]float64, len(counters))
+	for name, v := range counters {
+		rate := 0.0
+		if s.ticks > 0 && dt > 0 {
+			if p, ok := s.prev[name]; ok && v >= p {
+				rate = float64(v-p) / dt
+			}
+		}
+		rates[name] = rate
+		s.seriesLocked(name).push(ms, float64(v), rate)
+		s.prev[name] = v
+	}
+	for name, v := range gauges {
+		s.seriesLocked(name).push(ms, float64(v), 0)
+	}
+	s.prevT = now
+	s.ticks++
+	hooks := s.onSample
+	s.mu.Unlock()
+	// Hooks run outside the lock so they may call Snapshot and friends.
+	for _, f := range hooks {
+		f(now, rates)
+	}
+}
+
+func (s *Sampler) seriesLocked(name string) *Series {
+	sr := s.series[name]
+	if sr == nil {
+		sr = newSeries(name, s.capacity)
+		s.series[name] = sr
+	}
+	return sr
+}
+
+// Ticks returns how many samples have been taken.
+func (s *Sampler) Ticks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// Snapshot copies up to maxPoints recent points of every series, sorted by
+// name (maxPoints <= 0 means all retained points).
+func (s *Sampler) Snapshot(maxPoints int) []SeriesSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]SeriesSnapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.series[n].snapshot(maxPoints))
+	}
+	return out
+}
+
+// SnapshotOne returns one named series' snapshot (ok=false if the metric
+// has never been sampled).
+func (s *Sampler) SnapshotOne(name string, maxPoints int) (SeriesSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[name]
+	if !ok {
+		return SeriesSnapshot{}, false
+	}
+	return sr.snapshot(maxPoints), true
+}
+
+// sortStrings is a tiny insertion sort: series counts are dozens, and this
+// keeps sort out of the lock-held path's allocation profile.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

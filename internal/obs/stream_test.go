@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONLStreamHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer(1, 8)
+	tr.Ring(0).Record(mkBegin(0, 1))
+	tr.Ring(0).Record(mkCommit(0, 9, 5))
+	events := tr.Events()
+
+	var buf bytes.Buffer
+	if err := WriteJSONLStream(&buf, HeaderFor(tr), events); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Validate: %v\n%s", err, buf.String())
+	}
+	if n != 2 {
+		t.Fatalf("events = %d, want 2", n)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	var h headerJSON
+	if err := json.Unmarshal([]byte(first), &h); err != nil || h.Kind != "header" {
+		t.Fatalf("first line %q not a header: %v", first, err)
+	}
+	if h.Events != 2 || h.Recorded != 2 || h.Dropped != 0 {
+		t.Fatalf("header = %+v", h)
+	}
+}
+
+func TestValidateHeaderConsistency(t *testing.T) {
+	ev := `{"kind":"begin","thread":0,"vclock":1}` + "\n"
+	cases := map[string]struct {
+		in      string
+		wantErr string
+	}{
+		"count mismatch": {
+			`{"kind":"header","events":2,"recorded":2,"dropped":0}` + "\n" + ev,
+			"declares 2 events but stream holds 1",
+		},
+		"internal inconsistency": {
+			`{"kind":"header","events":3,"recorded":5,"dropped":1}` + "\n" + ev,
+			"recorded 5 - dropped 1",
+		},
+		"dropped exceeds recorded": {
+			`{"kind":"header","events":0,"recorded":1,"dropped":2}` + "\n" + ev,
+			"dropped 2 exceeds recorded 1",
+		},
+		"header not first": {
+			ev + `{"kind":"header","events":1,"recorded":1,"dropped":0}` + "\n",
+			"", // any error is fine (unknown fields on a non-first header)
+		},
+		"unknown header field": {
+			`{"kind":"header","events":1,"recorded":1,"dropped":0,"bogus":1}` + "\n" + ev,
+			"malformed header",
+		},
+	}
+	for name, tc := range cases {
+		_, err := Validate(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: no error", name)
+			continue
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+
+	// A consistent headered stream with declared drops passes.
+	ok := `{"kind":"header","events":1,"recorded":5,"dropped":4}` + "\n" + ev
+	if n, err := Validate(strings.NewReader(ok)); err != nil || n != 1 {
+		t.Fatalf("consistent headered stream: n=%d err=%v", n, err)
+	}
+	// Headerless streams stay valid (back-compat with pre-header traces).
+	if n, err := Validate(strings.NewReader(ev)); err != nil || n != 1 {
+		t.Fatalf("headerless stream: n=%d err=%v", n, err)
+	}
+}
+
+func TestReadJSONLFileSkipsHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/h.jsonl"
+	events := []Event{mkBegin(0, 1), mkCommit(0, 9, 5)}
+	hdr := StreamHeader{Events: 2, Recorded: 2, Dropped: 0}
+	if err := WriteJSONLStreamFile(path, hdr, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONLFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != KindBegin || got[1].Kind != KindCommit {
+		t.Fatalf("read back %d events: %+v", len(got), got)
+	}
+}
+
+// Perfetto exporter edge cases.
+
+func decodeChromeTrace(t *testing.T, events []Event) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty trace must serialise traceEvents as [], got %s", buf.String())
+	}
+	doc := decodeChromeTrace(t, nil)
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("events = %+v", doc.TraceEvents)
+	}
+}
+
+func TestChromeTraceSingleEvent(t *testing.T) {
+	doc := decodeChromeTrace(t, []Event{mkCommit(3, 10, 4)})
+	// One thread_name metadata record plus one X slice.
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2: %+v", len(doc.TraceEvents), doc.TraceEvents)
+	}
+	meta, slice := doc.TraceEvents[0], doc.TraceEvents[1]
+	if meta.Phase != "M" || meta.TID != 3 {
+		t.Fatalf("metadata = %+v", meta)
+	}
+	if slice.Phase != "X" || slice.TS != 6 || slice.Dur == nil || *slice.Dur != 4 {
+		t.Fatalf("slice = %+v", slice)
+	}
+}
+
+func TestChromeTraceCrossThreadTimestampOrdering(t *testing.T) {
+	// Thread 1's commit starts (vclock-dur=2) before thread 0's (TS 5)
+	// even though thread 0's event comes first in the stream; both slices
+	// must carry absolute virtual timestamps, not stream order.
+	events := []Event{
+		mkCommit(0, 8, 3),   // TS 5
+		mkCommit(1, 12, 10), // TS 2
+	}
+	doc := decodeChromeTrace(t, events)
+	var ts []uint64
+	byTID := map[int]uint64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			ts = append(ts, ev.TS)
+			byTID[ev.TID] = ev.TS
+		}
+	}
+	if len(ts) != 2 || byTID[0] != 5 || byTID[1] != 2 {
+		t.Fatalf("slice timestamps = %v (byTID %v)", ts, byTID)
+	}
+}
+
+func TestChromeTraceClampsUnderflow(t *testing.T) {
+	ev := mkCommit(0, 3, 9) // malformed: dur exceeds vclock
+	doc := decodeChromeTrace(t, []Event{ev})
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" && e.TS != 0 {
+			t.Fatalf("underflowing slice TS = %d, want clamp to 0", e.TS)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"htmcmp/internal/htm"
 	"htmcmp/internal/obs"
@@ -47,14 +48,14 @@ type goldenRow struct {
 }
 
 // goldenRun executes the fixed workload and returns the measured row; a
-// non-nil tracer or witness is attached to the engine (neither may perturb
-// the row — see TestTracingPreservesDeterminism and
-// TestWitnessPreservesDeterminism).
-func goldenRun(kind platform.Kind, threads int, tracer *obs.Tracer, wit *htm.Witness) goldenRow {
+// non-nil tracer, witness, or metrics handle is attached to the engine (none
+// may perturb the row — see TestTracingPreservesDeterminism,
+// TestWitnessPreservesDeterminism, and TestTelemetryPreservesDeterminism).
+func goldenRun(kind platform.Kind, threads int, tracer *obs.Tracer, wit *htm.Witness, met *obs.EngineMetrics) goldenRow {
 	spec := platform.New(kind)
 	e := htm.New(spec, htm.Config{
 		Threads: threads, SpaceSize: 8 << 20, Seed: 20250806, Virtual: true,
-		CostScale: 1, Tracer: tracer, Witness: wit,
+		CostScale: 1, Tracer: tracer, Witness: wit, Metrics: met,
 	})
 	lock := tm.NewGlobalLock(e)
 	setup := e.Thread(0)
@@ -142,7 +143,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	if *goldenPrint {
 		for _, kind := range []platform.Kind{platform.BlueGeneQ, platform.ZEC12, platform.IntelCore, platform.POWER8} {
 			for _, n := range []int{1, 2, 4, 8} {
-				g := goldenRun(kind, n, nil, nil)
+				g := goldenRun(kind, n, nil, nil, nil)
 				fmt.Printf("\t{kind: platform.%v, threads: %d, maxClock: %d, begins: %d, commits: %d, aborts: %d, txLoads: %d, txStores: %d},\n",
 					kindName(g.kind), g.threads, g.maxClock, g.begins, g.commits, g.aborts, g.txLoads, g.txStores)
 			}
@@ -156,7 +157,7 @@ func TestGoldenDeterminism(t *testing.T) {
 		want := want
 		t.Run(fmt.Sprintf("%s-%dt", want.kind.Short(), want.threads), func(t *testing.T) {
 			t.Parallel()
-			got := goldenRun(want.kind, want.threads, nil, nil)
+			got := goldenRun(want.kind, want.threads, nil, nil, nil)
 			if got != want {
 				t.Errorf("virtual-time results diverge from the seed engine\n got: %+v\nwant: %+v", got, want)
 			}
@@ -181,7 +182,7 @@ func TestTracingPreservesDeterminism(t *testing.T) {
 		t.Run(fmt.Sprintf("%s-%dt-traced", want.kind.Short(), want.threads), func(t *testing.T) {
 			t.Parallel()
 			tracer := obs.NewTracer(want.threads, obs.DefaultRingEvents)
-			got := goldenRun(want.kind, want.threads, tracer, nil)
+			got := goldenRun(want.kind, want.threads, tracer, nil, nil)
 			if got != want {
 				t.Errorf("tracing perturbed the virtual-time results\n got: %+v\nwant: %+v", got, want)
 			}
@@ -225,12 +226,61 @@ func TestWitnessPreservesDeterminism(t *testing.T) {
 		t.Run(fmt.Sprintf("%s-%dt-witnessed", want.kind.Short(), want.threads), func(t *testing.T) {
 			t.Parallel()
 			wit := htm.NewWitness()
-			got := goldenRun(want.kind, want.threads, nil, wit)
+			got := goldenRun(want.kind, want.threads, nil, wit, nil)
 			if got != want {
 				t.Errorf("witnessing perturbed the virtual-time results\n got: %+v\nwant: %+v", got, want)
 			}
 			if v := verify.Replay(wit.Log()); v != nil {
 				t.Errorf("golden workload log does not replay serializably: %v", v)
+			}
+		})
+	}
+}
+
+// TestTelemetryPreservesDeterminism pins the live-metrics contract: engine
+// counters published into an obs.Registry — with a sampler concurrently
+// snapshotting it into time series — record at transaction boundaries behind
+// a nil check and never charge virtual time, so an instrumented fixed-seed
+// run must land on the exact golden row of the bare engine, and the registry
+// totals must agree with the engine's own counters.
+func TestTelemetryPreservesDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden workload is not short")
+	}
+	for _, want := range golden {
+		want := want
+		if want.threads != 4 {
+			continue // 4-thread rows have the richest conflict mix
+		}
+		t.Run(fmt.Sprintf("%s-%dt-metrics", want.kind.Short(), want.threads), func(t *testing.T) {
+			t.Parallel()
+			reg := obs.NewRegistry()
+			met := obs.NewEngineMetrics(reg, 10, 3)
+			sampler := obs.NewSampler(reg, time.Millisecond, 0)
+			sampler.Start()
+			got := goldenRun(want.kind, want.threads, nil, nil, met)
+			sampler.Stop()
+			if got != want {
+				t.Errorf("metrics publication perturbed the virtual-time results\n got: %+v\nwant: %+v", got, want)
+			}
+			if b := met.Begins.Value(); b != want.begins {
+				t.Errorf("registry begins = %d, engine stats = %d", b, want.begins)
+			}
+			if c := met.Commits.Value(); c != want.commits {
+				t.Errorf("registry commits = %d, engine stats = %d", c, want.commits)
+			}
+			if a := met.Aborts.Value(); a != want.aborts {
+				t.Errorf("registry aborts = %d, engine stats = %d", a, want.aborts)
+			}
+			var byReason uint64
+			for _, c := range met.ByReason {
+				byReason += c.Value()
+			}
+			if byReason != want.aborts {
+				t.Errorf("per-reason abort sum = %d, engine stats = %d", byReason, want.aborts)
+			}
+			if sampler.Ticks() == 0 {
+				t.Error("sampler never ticked during the instrumented run")
 			}
 		})
 	}
