@@ -13,7 +13,7 @@ GATE    ?= 200
 # FUZZTIME is the per-target budget for fuzz-smoke.
 FUZZTIME ?= 30s
 
-.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke profile trace-smoke metrics-smoke fuzz-smoke cover results-sim results-sim-diff clean
+.PHONY: build test race lint bench-smoke bench-hotpath bench-hotpath-smoke profile trace-smoke metrics-smoke fuzz-smoke chaos-smoke cover results-sim results-sim-diff clean
 
 build:
 	$(GO) build ./...
@@ -172,6 +172,31 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRealConcurrency$$' -fuzztime $(FUZZTIME) ./internal/verify
 	$(GO) test -tags mutate_isolation -run '^TestMutation' -count=1 ./internal/verify
 	@echo "fuzz-smoke ok: all fuzz targets ran clean and the seeded mutation was caught"
+
+# chaos-smoke proves the self-healing sweep end to end: the chaos/soak test
+# suite runs under the race detector, then a test-scale sweep under -chaos
+# (every fault class armed, including stalls against a short cell timeout)
+# must complete with zero failed cells and emit tables byte-identical to a
+# fault-free run. The chaos report is left in $(SMOKE) for artifact upload.
+chaos-smoke: build
+	$(GO) test -race -count=1 -run 'Chaos|Quarantine|RetryBackoff' \
+		./internal/harness/sweep ./internal/chaos ./internal/htm ./internal/adapt ./internal/harness
+	rm -rf $(SMOKE)/chaos
+	mkdir -p $(SMOKE)/chaos
+	./$(BIN)/htmbench -exp fig2+3 -scale test -jobs $(JOBS) \
+		-cache-dir $(SMOKE)/chaos/cache-clean \
+		>$(SMOKE)/chaos/clean.txt 2>$(SMOKE)/chaos/clean.log
+	./$(BIN)/htmbench -exp fig2+3 -scale test -jobs $(JOBS) \
+		-chaos -chaos-seed 42 -cell-retries 2 -cell-timeout 5s \
+		-chaos-report $(SMOKE)/chaos/report.json \
+		-cache-dir $(SMOKE)/chaos/cache-chaos \
+		>$(SMOKE)/chaos/chaos.txt 2>$(SMOKE)/chaos/chaos.log
+	cmp $(SMOKE)/chaos/clean.txt $(SMOKE)/chaos/chaos.txt
+	@grep -q ' failed=0 ' $(SMOKE)/chaos/chaos.log || { \
+		echo "chaos sweep failed cells:"; cat $(SMOKE)/chaos/chaos.log; exit 1; }
+	@grep -q '"total_fired": [1-9]' $(SMOKE)/chaos/report.json || { \
+		echo "chaos never fired anything:"; cat $(SMOKE)/chaos/report.json; exit 1; }
+	@echo "chaos-smoke ok: injected faults recovered, tables byte-identical to the fault-free run"
 
 # cover gates statement coverage of the engine and its verification oracle
 # against the checked-in floor (COVERAGE.floor, whole percent). The tm and

@@ -9,6 +9,7 @@
 //	         [-jobs N] [-cache-dir .htmcache] [-no-cache] [-resume=false]
 //	         [-trace-dir DIR] [-metrics FILE] [-verify]
 //	         [-http :8080] [-http-linger 10m] [-flight-dir DIR]
+//	         [-chaos] [-chaos-seed N] [-cell-retries N] [-chaos-report FILE]
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig9, fig10,
 // fig11, prefetch (the Section 5.1 ablation), or all.
@@ -22,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +35,7 @@ import (
 
 	"htmcmp/internal/adapt"
 	"htmcmp/internal/cache"
+	"htmcmp/internal/chaos"
 	"htmcmp/internal/features"
 	"htmcmp/internal/harness"
 	"htmcmp/internal/harness/sweep"
@@ -70,6 +73,10 @@ func main() {
 	flightStall := flag.Duration("flight-stall", 0, "a sweep cell running longer than this triggers a flight dump (0 = off)")
 	flightDemotion := flag.Float64("flight-demotion-rate", 0, "STM demotions/sec that triggers a flight dump (0 = off)")
 	flightProfile := flag.Bool("flight-profile", false, "include pprof CPU+heap profiles in flight dumps")
+	chaosOn := flag.Bool("chaos", false, "inject deterministic faults into the sweep (every class, default mix); all injected faults are recovered and never cached, so rendered tables are unchanged")
+	chaosSeed := flag.Uint64("chaos-seed", 42, "seed for fault injection and retry-backoff jitter")
+	cellRetries := flag.Int("cell-retries", 2, "per-cell retry budget before quarantine (0 disables self-healing)")
+	chaosReport := flag.String("chaos-report", "", "write injected-fault and recovery counts as JSON to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -173,6 +180,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "htmbench: live telemetry at http://%s/\n", a)
 		}
 	}
+	var faults *chaos.Injector
+	if *chaosOn {
+		faults = chaos.New(chaos.DefaultConfig(*chaosSeed))
+		fmt.Fprintf(os.Stderr, "htmbench: chaos enabled (seed %d); injected faults are recovered, results stay clean\n", *chaosSeed)
+	}
 	sched := sweep.New(sweep.Config{
 		Jobs:      *jobs,
 		Cache:     store,
@@ -181,6 +193,9 @@ func main() {
 		Progress:  progressW,
 		TraceDir:  *traceDir,
 		Telemetry: tel,
+		Retries:   *cellRetries,
+		Seed:      *chaosSeed,
+		Faults:    faults,
 	})
 
 	// Planning pass: record every cell the selected experiments will
@@ -227,11 +242,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "htmbench: %s: %v\n", n, err)
 			fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
 			writeMetrics(*metricsPath, sched)
+			writeChaosReport(*chaosReport, faults, sum)
 			os.Exit(1)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep summary: %s\n", sum)
 	writeMetrics(*metricsPath, sched)
+	writeChaosReport(*chaosReport, faults, sum)
 	if tel != nil && *httpLinger > 0 {
 		fmt.Fprintf(os.Stderr, "htmbench: telemetry server up for another %s (SIGQUIT dumps a flight recording)\n", *httpLinger)
 		time.Sleep(*httpLinger)
@@ -288,6 +305,42 @@ func writeMetrics(path string, sched *sweep.Scheduler) {
 	defer f.Close()
 	if err := sched.Metrics().WriteJSON(f); err != nil {
 		fmt.Fprintf(os.Stderr, "htmbench: metrics: %v\n", err)
+	}
+}
+
+// writeChaosReport dumps the injected-fault counters and the sweep's healing
+// outcomes to path as JSON (no-op when path is empty). CI uploads it as an
+// artifact so a chaos-smoke run leaves an inspectable record of what was
+// injected and what recovered.
+func writeChaosReport(path string, faults *chaos.Injector, sum sweep.Summary) {
+	if path == "" {
+		return
+	}
+	if faults == nil {
+		fmt.Fprintln(os.Stderr, "htmbench: chaos-report: nothing to report without -chaos")
+		return
+	}
+	report := struct {
+		Seed        uint64            `json:"seed"`
+		Injected    map[string]uint64 `json:"injected"`
+		TotalFired  uint64            `json:"total_fired"`
+		Cells       int               `json:"cells"`
+		Retried     int               `json:"retried"`
+		Quarantined int               `json:"quarantined"`
+		Recovered   int               `json:"recovered"`
+		Evicted     int               `json:"evicted"`
+		Failed      int               `json:"failed"`
+	}{
+		Seed: faults.Seed(), Injected: faults.Counts(), TotalFired: faults.TotalFired(),
+		Cells: sum.Cells, Retried: sum.Retried, Quarantined: sum.Quarantined,
+		Recovered: sum.Recovered, Evicted: sum.Evicted, Failed: sum.Failed,
+	}
+	data, err := json.MarshalIndent(report, "", " ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htmbench: chaos-report: %v\n", err)
 	}
 }
 

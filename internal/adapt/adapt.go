@@ -40,6 +40,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"htmcmp/internal/chaos"
 	"htmcmp/internal/obs"
 )
 
@@ -181,6 +182,14 @@ type Config struct {
 	// ProbeWins is how many consecutive probe commits promote the site
 	// back (default 4) — the hysteresis that prevents flapping.
 	ProbeWins int
+	// Faults, when set, injects controller mode thrash (internal/chaos):
+	// on a committing execution the site's deterministic per-site stream
+	// may force a spurious steady-mode rotation, modelling a flapping or
+	// mis-tuned controller. Nil costs one pointer check per commit; the
+	// forced transitions flow through the ordinary transition path, so
+	// every mode the site lands in remains correct — thrash costs
+	// performance, never consistency.
+	Faults *chaos.Injector
 }
 
 // DefaultConfig returns the default thresholds.
@@ -282,6 +291,9 @@ func (c *Controller) SiteFor(key uintptr) *Site {
 		return s
 	}
 	s = &Site{ctl: c, id: uint32(len(c.order)), win: make([]entry, c.cfg.Window)}
+	if c.cfg.Faults != nil {
+		s.faults = c.cfg.Faults.Stream(int(s.id))
+	}
 	c.sites[key] = s
 	c.order = append(c.order, s)
 	return s
@@ -318,6 +330,10 @@ func (c *Controller) Sites() []SiteSnapshot {
 type Site struct {
 	ctl *Controller
 	id  uint32
+	// faults is the site's chaos roll stream (nil = injection off);
+	// deterministic per site id, so virtual-time runs with thrash
+	// injection stay reproducible.
+	faults *chaos.Stream
 
 	mu   sync.Mutex
 	mode Mode // steady mode
@@ -624,6 +640,14 @@ func (t *Txn) Commit() Transition {
 			return s.transitionLocked(t.mode)
 		}
 		return Transition{}
+	}
+
+	// Injected mode thrash: rotate the steady mode for no reason at all.
+	// The site keeps executing correctly in whatever mode it lands in and
+	// the probation machinery eventually climbs back — the cost is wasted
+	// transitions, which is exactly what the chaos suite measures.
+	if s.faults != nil && s.faults.Roll(chaos.ModeThrash) {
+		return s.transitionLocked(Mode((uint8(s.mode) + 1) % uint8(numModes)))
 	}
 
 	switch {

@@ -35,6 +35,15 @@ func Key(version string, v any) (string, error) {
 // Store is an on-disk result store rooted at a directory.
 type Store struct {
 	dir string
+	// OnEvict, when set, observes every record eviction — Get detecting a
+	// corrupt or truncated entry, or a caller invoking Evict (e.g. the
+	// sweep detecting a record whose content no longer matches its key) —
+	// with the key and the reason. Evictions are recoveries, not errors:
+	// the caller recomputes the record instead of failing, and the hook is
+	// how that recovery is logged and counted. Set it before sharing the
+	// store between goroutines; the hook itself must be safe for
+	// concurrent calls.
+	OnEvict func(key string, reason error)
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -73,10 +82,21 @@ func (s *Store) Get(key string, out any) (bool, error) {
 		return false, fmt.Errorf("cache: read %s: %w", path, err)
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		os.Remove(path)
+		s.Evict(key, fmt.Errorf("corrupt record (%d bytes): %w", len(data), err))
 		return false, nil
 	}
 	return true, nil
+}
+
+// Evict removes the record stored under key and reports it to OnEvict with
+// the given reason. Missing records evict silently (the torn write may have
+// left nothing behind); eviction never fails the caller — the worst case is
+// a recompute.
+func (s *Store) Evict(key string, reason error) {
+	os.Remove(s.Path(key))
+	if s.OnEvict != nil {
+		s.OnEvict(key, reason)
+	}
 }
 
 // Put stores v under key, atomically: the record is written to a temporary

@@ -106,6 +106,74 @@ func TestCorruptEntryIsMissAndRemoved(t *testing.T) {
 	}
 }
 
+// TestTornWriteEvictsAndRecomputes is the regression test for the
+// evict-and-recompute contract: a torn write (a record truncated mid-file,
+// as a crashed writer or full disk leaves behind) must surface as a miss
+// with the entry evicted and reported through OnEvict, so the caller
+// recomputes instead of failing the cell — and the recomputed Put lands.
+func TestTornWriteEvictsAndRecomputes(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evicted []string
+	var reasons []error
+	s.OnEvict = func(key string, reason error) {
+		evicted = append(evicted, key)
+		reasons = append(reasons, reason)
+	}
+	in := payload{Name: "intruder", Score: 3.5, Raw: []int{9, 8, 7}}
+	key, _ := Key("v1", in)
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the record: keep only the first half of its bytes.
+	full, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(key), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Get(key, &out)
+	if err != nil {
+		t.Fatalf("torn entry surfaced as an error: %v", err)
+	}
+	if ok {
+		t.Fatal("torn entry reported as hit")
+	}
+	if len(evicted) != 1 || evicted[0] != key {
+		t.Fatalf("OnEvict saw %v, want [%s]", evicted, key)
+	}
+	if len(reasons) != 1 || reasons[0] == nil {
+		t.Fatalf("OnEvict reason missing: %v", reasons)
+	}
+	if _, err := os.Stat(s.Path(key)); !os.IsNotExist(err) {
+		t.Fatal("torn entry not evicted from disk")
+	}
+	// Recompute path: a fresh Put round-trips again.
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Get(key, &out); !ok || out.Name != in.Name {
+		t.Fatalf("recomputed record did not land: %v %+v", ok, out)
+	}
+}
+
+func TestEvictMissingIsSilentNoOp(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	s.OnEvict = func(string, error) { calls++ }
+	s.Evict("deadbeef", nil) // nothing on disk: must not panic
+	if calls != 1 {
+		t.Fatalf("OnEvict calls = %d, want 1 (caller-initiated evictions always report)", calls)
+	}
+}
+
 func TestPutOverwrites(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {

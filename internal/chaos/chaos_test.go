@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAfflictsDeterministicAndOrderIndependent(t *testing.T) {
+	in := New(DefaultConfig(7))
+	keys := []string{"cell-a", "cell-b", "cell-c", "cell-d", "cell-e"}
+	first := map[string]bool{}
+	for _, k := range keys {
+		first[k] = in.Afflicts(CellPanic, k, 0)
+	}
+	// Re-query in reverse order, through a fresh injector: decisions are a
+	// pure function of (seed, class, key), never of query order or state.
+	in2 := New(DefaultConfig(7))
+	for i := len(keys) - 1; i >= 0; i-- {
+		k := keys[i]
+		if got := in2.Afflicts(CellPanic, k, 0); got != first[k] {
+			t.Fatalf("Afflicts(%q) changed across injectors/order: %v vs %v", k, got, first[k])
+		}
+	}
+}
+
+func TestAfflictsSeedSensitivity(t *testing.T) {
+	// Across many keys, two seeds must not produce identical afflictions
+	// (astronomically unlikely unless the hash ignores the seed).
+	a, b := New(DefaultConfig(1)), New(DefaultConfig(2))
+	same := true
+	for i := 0; i < 256 && same; i++ {
+		k := string(rune('a'+i%26)) + string(rune('0'+i%10)) + "key"
+		if a.Afflicts(CellPanic, k, 0) != b.Afflicts(CellPanic, k, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("afflictions identical across different seeds")
+	}
+}
+
+func TestAfflictsRespectsPersist(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Rates[CellPanic] = 1 // every cell afflicted
+	cfg.Persist = 2
+	in := New(cfg)
+	if !in.Afflicts(CellPanic, "k", 0) || !in.Afflicts(CellPanic, "k", 1) {
+		t.Fatal("affliction should persist for Persist attempts")
+	}
+	if in.Afflicts(CellPanic, "k", 2) {
+		t.Fatal("attempt >= Persist must run clean (bounded retry must win)")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Afflicts(CellPanic, "k", 0) {
+		t.Fatal("nil injector afflicted a cell")
+	}
+	if in.EngineFor("k", 0) != nil {
+		t.Fatal("nil injector built an engine child")
+	}
+	if in.Stream(0).Roll(SpuriousAbort) {
+		t.Fatal("nil stream fired")
+	}
+	if in.TotalFired() != 0 || in.Fired(CellPanic) != 0 {
+		t.Fatal("nil injector counted")
+	}
+	in.Note(CellPanic) // must not panic
+}
+
+func TestEngineForOnlyEngineClasses(t *testing.T) {
+	cfg := DefaultConfig(11)
+	for c := Class(0); c < NumClasses; c++ {
+		cfg.Rates[c] = 1
+	}
+	in := New(cfg)
+	child := in.EngineFor("some-cell", 0)
+	if child == nil {
+		t.Fatal("every class afflicted, expected a child injector")
+	}
+	ccfg := child.Config()
+	for c := SpuriousAbort; c <= ModeThrash; c++ {
+		if ccfg.OpRates[c] != cfg.OpRates[c] {
+			t.Errorf("engine class %s op-rate = %v, want %v", c, ccfg.OpRates[c], cfg.OpRates[c])
+		}
+	}
+	for c := CellPanic; c < NumClasses; c++ {
+		if ccfg.OpRates[c] != 0 {
+			t.Errorf("harness class %s leaked into engine child", c)
+		}
+	}
+	// Beyond Persist the attempt is clean: no child at all.
+	if in.EngineFor("some-cell", cfg.Persist) != nil {
+		t.Fatal("attempt beyond Persist produced an engine child")
+	}
+}
+
+func TestStreamDeterministicAndCounted(t *testing.T) {
+	cfg := Config{Seed: 5}
+	cfg.OpRates[SpuriousAbort] = 0.5
+	a, b := New(cfg), New(cfg)
+	sa, sb := a.Stream(3), b.Stream(3)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		ra, rb := sa.Roll(SpuriousAbort), sb.Roll(SpuriousAbort)
+		if ra != rb {
+			t.Fatalf("roll %d diverged between identical streams", i)
+		}
+		if ra {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("p=0.5 over 1000 rolls never fired")
+	}
+	if got := a.Fired(SpuriousAbort); got != uint64(fired) {
+		t.Fatalf("Fired=%d, observed %d", got, fired)
+	}
+	if a.TotalFired() != uint64(fired) {
+		t.Fatalf("TotalFired=%d, observed %d", a.TotalFired(), fired)
+	}
+	if a.Counts()[SpuriousAbort.String()] != uint64(fired) {
+		t.Fatalf("Counts missing %s", SpuriousAbort)
+	}
+	// Zero-rate classes must not perturb the stream or count.
+	if sa.Roll(CapacityFault) {
+		t.Fatal("zero-rate class fired")
+	}
+}
+
+func TestBackoffDeterministicBoundedMonotoneEnvelope(t *testing.T) {
+	const base, cap = 5 * time.Millisecond, 250 * time.Millisecond
+	for _, seed := range []uint64{0, 1, 42, 1 << 60} {
+		for _, key := range []string{"a", "cell/zec12/t2", ""} {
+			for attempt := 0; attempt < 64; attempt++ {
+				d1 := Backoff(seed, key, attempt, base, cap)
+				d2 := Backoff(seed, key, attempt, base, cap)
+				if d1 != d2 {
+					t.Fatalf("Backoff not deterministic: %v vs %v", d1, d2)
+				}
+				if d1 <= 0 || d1 > cap {
+					t.Fatalf("Backoff(%d) = %v out of (0, %v]", attempt, d1, cap)
+				}
+				// Jitter lives in [envelope/2, envelope): never below half
+				// the base, never at or above the cap envelope.
+				if attempt == 0 && d1 < base/2 {
+					t.Fatalf("first backoff %v below base/2", d1)
+				}
+			}
+		}
+	}
+	// Huge attempts (shift overflow territory) stay capped.
+	if d := Backoff(9, "k", 1<<20, base, cap); d <= 0 || d > cap {
+		t.Fatalf("overflowing attempt produced %v", d)
+	}
+	// Defaults engage on zero/negative base and cap.
+	if d := Backoff(9, "k", 0, 0, 0); d <= 0 || d > 250*time.Millisecond {
+		t.Fatalf("default backoff %v out of range", d)
+	}
+	// base > max is clamped, not inverted.
+	if d := Backoff(9, "k", 0, time.Second, 10*time.Millisecond); d > 10*time.Millisecond {
+		t.Fatalf("base>max produced %v", d)
+	}
+}
+
+func TestClassStringsAndLevels(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("class %d has empty or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if Class(250).String() == "" {
+		t.Fatal("out-of-range class has empty name")
+	}
+	for c := SpuriousAbort; c <= ModeThrash; c++ {
+		if !c.EngineLevel() {
+			t.Errorf("%s should be engine-level", c)
+		}
+	}
+	for c := CellPanic; c < NumClasses; c++ {
+		if c.EngineLevel() {
+			t.Errorf("%s should be harness-level", c)
+		}
+	}
+}

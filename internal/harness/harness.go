@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"htmcmp/internal/adapt"
+	"htmcmp/internal/chaos"
 	"htmcmp/internal/htm"
 	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
@@ -73,6 +74,14 @@ type RunSpec struct {
 	// publication never charges virtual time, so measured results are
 	// identical with it attached.
 	Telemetry *obs.Telemetry `json:"-"`
+	// Faults, when set, attaches the chaos injector to every parallel run's
+	// engine (and, for adaptive runs, the mode controller): injected
+	// spurious aborts, forced capacity overflows, STM seqlock contention
+	// and controller thrash. The sequential baseline always runs clean, so
+	// an afflicted run's speedup reflects the faults' cost. Excluded from
+	// JSON so sweep cache keys are unchanged — the sweep never caches an
+	// afflicted result anyway (it discards and recomputes clean).
+	Faults *chaos.Injector `json:"-"`
 }
 
 // Label is a short human-readable identifier for progress reporting.
@@ -226,6 +235,7 @@ func (s RunSpec) runSeqOnce(seed uint64) (float64, error) {
 func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats, error) {
 	cfg := s.engineConfig(s.Threads, seed)
 	cfg.Space = acquireSpace(cfg.SpaceSize)
+	cfg.Faults = s.Faults
 	var tracer *obs.Tracer
 	if s.TraceDir != "" {
 		tracer = obs.NewTracer(s.Threads, obs.DefaultRingEvents)
@@ -253,7 +263,7 @@ func (s RunSpec) runParOnce(seed uint64, rep int) (float64, tm.Stats, htm.Stats,
 	if s.Adaptive {
 		// One controller per run: every thread's executor feeds the same
 		// per-site windows, so demotion decisions reflect run-wide history.
-		ctl = adapt.NewController(adapt.Config{})
+		ctl = adapt.NewController(adapt.Config{Faults: s.Faults})
 	}
 	runners := make([]stamp.Runner, s.Threads)
 	execs := make([]*tm.Executor, s.Threads)

@@ -1,0 +1,308 @@
+package sweep
+
+// Chaos/soak suite for the self-healing sweep: every injected fault class
+// must be recovered — the sweep completes, the healed results are equal to a
+// fault-free run, and the Summary's Recovered accounting matches what was
+// injected — plus property tests for the retry backoff bounds and for the
+// worker pool draining around quarantined cells.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"htmcmp/internal/cache"
+	"htmcmp/internal/chaos"
+	"htmcmp/internal/harness"
+	"htmcmp/internal/trace"
+)
+
+// chaosCells returns the standard test cell set with an optional spec
+// mutation (to route cells through the STM or adaptive runtimes).
+func chaosCells(mod func(*harness.RunSpec)) []Cell {
+	cells := testCells()
+	if mod != nil {
+		for i := range cells {
+			mod(&cells[i].Spec)
+		}
+	}
+	return cells
+}
+
+// cleanResults computes the fault-free reference results directly.
+func cleanResults(t *testing.T, cells []Cell) []harness.Result {
+	t.Helper()
+	out := make([]harness.Result, len(cells))
+	for i, c := range cells {
+		r, err := harness.Run(c.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// assertHealedEqual checks every healed cell against the fault-free
+// reference: recovery must leave no fingerprint in the results.
+func assertHealedEqual(t *testing.T, s *Scheduler, cells []Cell, want []harness.Result) {
+	t.Helper()
+	for i, c := range cells {
+		got, err := s.Measure(c.Spec, false)
+		if err != nil {
+			t.Fatalf("cell %s failed after healing: %v", c.Label(), err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("cell %s: healed result differs from fault-free run", c.Label())
+		}
+	}
+}
+
+// TestChaosSoakPerClassRecovery afflicts EVERY cell with one fault class at
+// a time and requires total recovery: no failures, every cell recovered via
+// exactly one clean retry, and results identical to a fault-free sweep.
+func TestChaosSoakPerClassRecovery(t *testing.T) {
+	cases := []struct {
+		name  string
+		class chaos.Class
+		op    float64 // per-opportunity rate for engine-level classes
+		mod   func(*harness.RunSpec)
+	}{
+		{"spurious-abort", chaos.SpuriousAbort, 0.2, nil},
+		{"capacity-fault", chaos.CapacityFault, 0.01, nil},
+		{"stm-contention", chaos.STMContention, 0.05, func(s *harness.RunSpec) { s.UseSTM = true }},
+		{"mode-thrash", chaos.ModeThrash, 0.1, func(s *harness.RunSpec) { s.Adaptive = true }},
+		{"cell-panic", chaos.CellPanic, 0, nil},
+		{"worker-crash", chaos.WorkerCrash, 0, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cells := chaosCells(tc.mod)
+			want := cleanResults(t, cells)
+			cfg := chaos.Config{Seed: 1}
+			cfg.Rates[tc.class] = 1
+			if tc.op > 0 {
+				cfg.OpRates[tc.class] = tc.op
+			}
+			in := chaos.New(cfg)
+			s := New(Config{
+				Jobs: 2, Retries: 2, Seed: 7, Faults: in,
+				RetryBackoff: time.Millisecond, RetryBackoffCap: 8 * time.Millisecond,
+			})
+			sum := s.Prewarm(cells)
+			if sum.Failed != 0 {
+				t.Fatalf("summary = %s, want no failures", sum)
+			}
+			if in.Fired(tc.class) == 0 {
+				t.Fatalf("class %s never fired; the soak proves nothing", tc.class)
+			}
+			if sum.Recovered != len(cells) {
+				t.Fatalf("summary = %s, want all %d cells recovered", sum, len(cells))
+			}
+			if sum.Retried != len(cells) {
+				t.Fatalf("summary = %s, want exactly one retry per cell", sum)
+			}
+			assertHealedEqual(t, s, cells, want)
+		})
+	}
+}
+
+// TestChaosQuarantineRecovers forces every cell through quarantine: the
+// affliction persists past the pool's retry budget (Persist > Retries), so
+// each cell exhausts its retries, is quarantined, and is then healed by the
+// serial single-retry pass. Running the identical sweep twice must heal
+// identically — the whole schedule is a function of the seeds.
+func TestChaosQuarantineRecovers(t *testing.T) {
+	cells := testCells()
+	want := cleanResults(t, cells)
+	run := func() (Summary, *Scheduler) {
+		cfg := chaos.Config{Seed: 3, Persist: 2}
+		cfg.Rates[chaos.CellPanic] = 1
+		s := New(Config{
+			Jobs: 2, Retries: 1, Seed: 11, Faults: chaos.New(cfg),
+			RetryBackoff: time.Millisecond, RetryBackoffCap: 4 * time.Millisecond,
+		})
+		return s.Prewarm(cells), s
+	}
+	sum, s := run()
+	if sum.Quarantined != len(cells) || sum.Recovered != len(cells) || sum.Failed != 0 {
+		t.Fatalf("summary = %s, want all %d quarantined and recovered", sum, len(cells))
+	}
+	assertHealedEqual(t, s, cells, want)
+
+	sum2, _ := run()
+	if sum2.Retried != sum.Retried || sum2.Quarantined != sum.Quarantined ||
+		sum2.Recovered != sum.Recovered || sum2.Failed != sum.Failed {
+		t.Fatalf("chaos healing not deterministic: %s vs %s", sum, sum2)
+	}
+}
+
+// TestChaosStallTimesOutAndRecovers: an injected stall must trip the cell
+// timeout, and the clean retry must land. The hook makes the real compute
+// instant so the test's clock is dominated by the injected stall alone.
+func TestChaosStallTimesOutAndRecovers(t *testing.T) {
+	setRunCellHook(t, func(Cell) (harness.Result, trace.Footprint, error) {
+		return harness.Result{}, trace.Footprint{}, nil
+	})
+	cfg := chaos.Config{Seed: 2}
+	cfg.Rates[chaos.CellStall] = 1
+	in := chaos.New(cfg)
+	s := New(Config{
+		Jobs: 2, Timeout: 100 * time.Millisecond, Retries: 1, Faults: in,
+		RetryBackoff: time.Millisecond, RetryBackoffCap: 4 * time.Millisecond,
+	})
+	cells := testCells()
+	sum := s.Prewarm(cells)
+	if sum.Failed != 0 || sum.Recovered != len(cells) {
+		t.Fatalf("summary = %s, want all %d stalled cells recovered", sum, len(cells))
+	}
+	if got := in.Fired(chaos.CellStall); got != uint64(len(cells)) {
+		t.Fatalf("stalls fired = %d, want %d", got, len(cells))
+	}
+}
+
+// TestChaosCacheCorruptionDetectedAndRecovered tears EVERY cache record
+// after it is written (truncation, garbage, and stale-content modes, chosen
+// per key); the resumed sweep must detect all of them, evict, recompute, and
+// converge to the fault-free results.
+func TestChaosCacheCorruptionDetectedAndRecovered(t *testing.T) {
+	cells := testCells()
+	want := cleanResults(t, cells)
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() (*Scheduler, *chaos.Injector) {
+		cfg := chaos.Config{Seed: 4}
+		cfg.Rates[chaos.CacheCorrupt] = 1
+		in := chaos.New(cfg)
+		s := New(Config{
+			Jobs: 2, Cache: store, Resume: true, Retries: 1, Faults: in,
+			RetryBackoff: time.Millisecond, RetryBackoffCap: 4 * time.Millisecond,
+		})
+		return s, in
+	}
+	s1, in1 := mk()
+	sum1 := s1.Prewarm(cells)
+	if sum1.Failed != 0 || sum1.Computed != len(cells) {
+		t.Fatalf("pass-1 summary = %s", sum1)
+	}
+	if got := in1.Fired(chaos.CacheCorrupt); got != uint64(len(cells)) {
+		t.Fatalf("tore %d records, want %d", got, len(cells))
+	}
+	// The in-memory results are banked before the record is torn; tearing
+	// must not leak into what pass 1 serves.
+	assertHealedEqual(t, s1, cells, want)
+
+	s2, _ := mk()
+	sum2 := s2.Prewarm(cells)
+	if sum2.Cached != 0 || sum2.Computed != len(cells) {
+		t.Fatalf("pass-2 summary = %s, want every torn record recomputed", sum2)
+	}
+	if sum2.Evicted != len(cells) || sum2.Recovered != len(cells) || sum2.Failed != 0 {
+		t.Fatalf("pass-2 summary = %s, want %d evicted and recovered", sum2, len(cells))
+	}
+	assertHealedEqual(t, s2, cells, want)
+}
+
+// TestChaosSoakFullMixByteIdentical is the soak: every fault class armed at
+// once (the default chaos mix), a sweep into a cache, and a resumed second
+// sweep over the same store. Both passes must end with zero failures and
+// results identical to the fault-free reference, and the second pass must
+// detect exactly the records the first pass tore.
+func TestChaosSoakFullMixByteIdentical(t *testing.T) {
+	cells := testCells()
+	want := cleanResults(t, cells)
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() (*Scheduler, *chaos.Injector) {
+		in := chaos.New(chaos.DefaultConfig(1001))
+		s := New(Config{
+			Jobs: 2, Cache: store, Resume: true, Retries: 2, Seed: 1001, Faults: in,
+			RetryBackoff: time.Millisecond, RetryBackoffCap: 8 * time.Millisecond,
+		})
+		return s, in
+	}
+	s1, in1 := mk()
+	sum1 := s1.Prewarm(cells)
+	if sum1.Failed != 0 {
+		t.Fatalf("pass-1 summary = %s, want no failures under full chaos", sum1)
+	}
+	if in1.TotalFired() == 0 {
+		t.Fatal("chaos never fired; the soak proves nothing")
+	}
+	assertHealedEqual(t, s1, cells, want)
+
+	s2, _ := mk()
+	sum2 := s2.Prewarm(cells)
+	if sum2.Failed != 0 {
+		t.Fatalf("pass-2 summary = %s, want no failures on chaotic resume", sum2)
+	}
+	if torn := int(in1.Fired(chaos.CacheCorrupt)); sum2.Evicted != torn {
+		t.Errorf("pass 2 evicted %d records, want the %d pass 1 tore", sum2.Evicted, torn)
+	}
+	assertHealedEqual(t, s2, cells, want)
+}
+
+// TestQuarantineDoesNotStarvePool is the starvation property: cells that
+// fail persistently (and burn their whole retry budget) must not keep the
+// worker pool from draining — healthy cells still complete, work stealing
+// still functions, and Prewarm returns with every cell accounted for.
+func TestQuarantineDoesNotStarvePool(t *testing.T) {
+	setRunCellHook(t, func(c Cell) (harness.Result, trace.Footprint, error) {
+		if c.Spec.Benchmark == "ssca2" {
+			return harness.Result{}, trace.Footprint{}, errTestPersistent
+		}
+		return harness.Result{}, trace.Footprint{}, nil
+	})
+	cells := testCells() // 2 ssca2 cells (always fail), 2 kmeans-low (succeed)
+	s := New(Config{
+		Jobs: 3, Retries: 2,
+		RetryBackoff: time.Millisecond, RetryBackoffCap: 4 * time.Millisecond,
+	})
+	sum := s.Prewarm(cells)
+	if sum.Cells != len(cells) || sum.Computed != len(cells) {
+		t.Fatalf("summary = %s, want the pool to drain all %d cells", sum, len(cells))
+	}
+	if sum.Quarantined != 2 || sum.Failed != 2 {
+		t.Fatalf("summary = %s, want the 2 persistent failures quarantined then failed", sum)
+	}
+	if sum.Retried != 2*2 {
+		t.Fatalf("summary = %s, want both failing cells to burn their full retry budget", sum)
+	}
+	for _, c := range cells {
+		_, err := s.Measure(c.Spec, false)
+		if c.Spec.Benchmark == "ssca2" && err == nil {
+			t.Errorf("cell %s: persistent failure healed away — impossible", c.Label())
+		}
+		if c.Spec.Benchmark != "ssca2" && err != nil {
+			t.Errorf("cell %s starved by its failing neighbours: %v", c.Label(), err)
+		}
+	}
+}
+
+var errTestPersistent = &persistentErr{}
+
+type persistentErr struct{}
+
+func (*persistentErr) Error() string { return "persistent test failure" }
+
+// TestRetryBackoffBoundedForAnySeed is the backoff property: for any seed
+// and any attempt number — far past where naive doubling overflows — the
+// delay is deterministic, positive, and never exceeds the cap.
+func TestRetryBackoffBoundedForAnySeed(t *testing.T) {
+	const ceiling = 100 * time.Millisecond
+	for seed := uint64(0); seed < 64; seed++ {
+		for attempt := 0; attempt < 70; attempt++ {
+			d := chaos.Backoff(seed, "prop-cell", attempt, 2*time.Millisecond, ceiling)
+			if d <= 0 || d > ceiling {
+				t.Fatalf("seed %d attempt %d: backoff %v outside (0, %v]", seed, attempt, d, ceiling)
+			}
+			if d2 := chaos.Backoff(seed, "prop-cell", attempt, 2*time.Millisecond, ceiling); d2 != d {
+				t.Fatalf("seed %d attempt %d: backoff not deterministic (%v vs %v)", seed, attempt, d, d2)
+			}
+		}
+	}
+}

@@ -49,6 +49,16 @@ func (d *deque) popBack() (Cell, bool) {
 	return c, true
 }
 
+// push returns a cell to the front of the deque. This is the crashed
+// worker's requeue path (heal.go): the cell is pushed back BEFORE the worker
+// dies, so it is never invisible to the other workers' drain check — the
+// restarted owner or a thief always finds it.
+func (d *deque) push(c Cell) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cells = append([]Cell{c}, d.cells...)
+}
+
 func (d *deque) size() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()

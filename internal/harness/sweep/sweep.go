@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"htmcmp/internal/cache"
+	"htmcmp/internal/chaos"
 	"htmcmp/internal/harness"
 	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
@@ -136,7 +137,8 @@ type Config struct {
 	// their cache keys are computed, so tracing never perturbs identity.
 	TraceDir string
 	// Metrics receives live counters (cells_done, cells_cached,
-	// cells_computed, cells_failed, tx_begins, tx_commits, tx_aborts)
+	// cells_computed, cells_failed, cells_retried, cells_quarantined,
+	// cells_recovered, cache_evictions, tx_begins, tx_commits, tx_aborts)
 	// as cells complete; the progress line reads them. New allocates one
 	// when nil.
 	Metrics *obs.Metrics
@@ -147,6 +149,31 @@ type Config struct {
 	// the dashboard renders. Injected after cache keys are computed, so —
 	// like TraceDir — it never perturbs cache identity.
 	Telemetry *obs.Telemetry
+	// Retries is the per-cell bounded retry budget (heal.go): a failed or
+	// chaos-afflicted attempt is re-executed up to Retries times with
+	// jittered exponential backoff before the cell is quarantined for one
+	// final serial retry. 0 disables self-healing entirely — a failed cell
+	// is final, the pre-chaos behaviour the failure-path tests pin.
+	Retries int
+	// RetryBackoff is the base of the retry backoff (default 5ms);
+	// RetryBackoffCap caps the exponential doubling (default 250ms). The
+	// jitter is drawn from a pure hash of (Seed, cell key, attempt), so a
+	// sweep's retry schedule is deterministic for a given seed.
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+	// Seed drives the deterministic retry jitter (and fault-injection
+	// affliction decisions when Faults is set). It never affects results —
+	// only scheduling.
+	Seed uint64
+	// Faults, when non-nil, injects deterministic faults into the sweep
+	// (internal/chaos): engine-level faults ride into afflicted cells'
+	// RunSpecs (injected after Key(), like TraceDir, so cache identity is
+	// unchanged), and harness-level faults panic cells, stall them past
+	// Timeout, tear their cache records, or crash workers. Every injected
+	// fault is recoverable: afflicted attempts must complete but their
+	// fault-perturbed measurements are discarded and recomputed clean, so
+	// rendered tables are byte-identical to a fault-free sweep.
+	Faults *chaos.Injector
 }
 
 // Summary reports what a Prewarm pass did.
@@ -154,9 +181,20 @@ type Summary struct {
 	Cells    int // unique cells scheduled
 	Computed int // executed in this pass
 	Cached   int // satisfied from the on-disk cache
-	Failed   int // ended in error (including panics and timeouts)
+	Failed   int // ended in error after all healing (panics, timeouts)
 	Steals   int // cells migrated between workers by the work-stealing pool
-	Elapsed  time.Duration
+	// Self-healing outcomes (heal.go). Retried counts re-executed attempts
+	// (including worker-crash requeues); Quarantined counts cells that
+	// exhausted the pool's retry budget and were demoted to the serial
+	// single-retry pass; Recovered counts cells that ultimately succeeded
+	// after a retry, a quarantine pass, a worker crash, or a corrupt-cache
+	// eviction; Evicted counts cache records evicted as corrupt or stale.
+	// A quarantined cell is counted either Recovered or Failed, never both.
+	Retried     int
+	Quarantined int
+	Recovered   int
+	Evicted     int
+	Elapsed     time.Duration
 }
 
 // HitRatio is the fraction of cells served from cache, in percent.
@@ -172,6 +210,18 @@ func (s Summary) String() string {
 		s.Cells, s.Computed, s.Cached, s.Failed, s.HitRatio(), s.Elapsed.Round(time.Millisecond))
 	if s.Steals > 0 {
 		out += fmt.Sprintf(" steals=%d", s.Steals)
+	}
+	if s.Retried > 0 {
+		out += fmt.Sprintf(" retried=%d", s.Retried)
+	}
+	if s.Quarantined > 0 {
+		out += fmt.Sprintf(" quarantined=%d", s.Quarantined)
+	}
+	if s.Recovered > 0 {
+		out += fmt.Sprintf(" recovered=%d", s.Recovered)
+	}
+	if s.Evicted > 0 {
+		out += fmt.Sprintf(" evicted=%d", s.Evicted)
 	}
 	return out
 }
@@ -198,17 +248,30 @@ type Scheduler struct {
 	failed   int
 	workers  int
 	start    time.Time
+
+	// self-healing state (heal.go; guarded by mu)
+	retried     int
+	quarantined int
+	recovered   int
+	evicted     int
+	quarantine  []quarCell      // cells awaiting the serial retry pass
+	disrupted   map[string]bool // keys recovering from eviction/worker crash
+	crashed     map[string]bool // keys that already took a worker down once
 }
 
 // telemetryCounters are the scheduler's pre-resolved registry handles
 // (registered once in New; bumped as cells complete).
 type telemetryCounters struct {
-	done     *obs.Counter
-	cached   *obs.Counter
-	computed *obs.Counter
-	failed   *obs.Counter
-	steals   *obs.Counter
-	eta      *obs.Gauge
+	done        *obs.Counter
+	cached      *obs.Counter
+	computed    *obs.Counter
+	failed      *obs.Counter
+	steals      *obs.Counter
+	retries     *obs.Counter
+	quarantined *obs.Counter
+	recovered   *obs.Counter
+	evictions   *obs.Counter
+	eta         *obs.Gauge
 }
 
 // New builds a Scheduler from cfg.
@@ -219,16 +282,35 @@ func New(cfg Config) *Scheduler {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
 	}
-	s := &Scheduler{cfg: cfg, memo: map[string]outcome{}, est: newEstimator()}
+	s := &Scheduler{
+		cfg: cfg, memo: map[string]outcome{}, est: newEstimator(),
+		disrupted: map[string]bool{}, crashed: map[string]bool{},
+	}
 	if tel := cfg.Telemetry; tel != nil {
 		reg := tel.Registry
 		s.tc = &telemetryCounters{
-			done:     reg.Counter("sweep_cells_done_total"),
-			cached:   reg.Counter("sweep_cells_cached_total"),
-			computed: reg.Counter("sweep_cells_computed_total"),
-			failed:   reg.Counter("sweep_cells_failed_total"),
-			steals:   reg.Counter("sweep_steals_total"),
-			eta:      reg.Gauge("sweep_eta_seconds"),
+			done:        reg.Counter("sweep_cells_done_total"),
+			cached:      reg.Counter("sweep_cells_cached_total"),
+			computed:    reg.Counter("sweep_cells_computed_total"),
+			failed:      reg.Counter("sweep_cells_failed_total"),
+			steals:      reg.Counter("sweep_steals_total"),
+			retries:     reg.Counter("sweep_cell_retries_total"),
+			quarantined: reg.Counter("sweep_cells_quarantined"),
+			recovered:   reg.Counter("sweep_cells_recovered_total"),
+			evictions:   reg.Counter("sweep_cache_evictions_total"),
+			eta:         reg.Gauge("sweep_eta_seconds"),
+		}
+	}
+	if cfg.Cache != nil {
+		// Evictions — Get detecting a torn record, or the identity check in
+		// obtain catching a stale one — are recoveries: log them, count them,
+		// and mark the key so its recompute is credited as Recovered.
+		prev := cfg.Cache.OnEvict
+		cfg.Cache.OnEvict = func(key string, reason error) {
+			s.noteEviction(key, reason)
+			if prev != nil {
+				prev(key, reason)
+			}
 		}
 	}
 	return s
@@ -267,8 +349,10 @@ func runCell(c Cell) outcome {
 	return outcome{err: fmt.Errorf("sweep: unknown cell kind %d", int(c.Kind))}
 }
 
-// execCell runs a cell with panic recovery and the configured timeout.
-func (s *Scheduler) execCell(c Cell) outcome {
+// execCell runs a cell with panic recovery and the configured timeout. The
+// affliction (heal.go) carries this attempt's injected harness-level faults;
+// the zero value runs the cell untouched.
+func (s *Scheduler) execCell(c Cell, af affliction) outcome {
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() {
@@ -276,6 +360,17 @@ func (s *Scheduler) execCell(c Cell) outcome {
 				ch <- outcome{err: fmt.Errorf("sweep: cell %s panicked: %v\n%s", c.Label(), r, debug.Stack())}
 			}
 		}()
+		if af.stall > 0 {
+			// An injected stall models a hung cell: sleep past the deadline
+			// and never produce a result, so the timeout path fires. The cell
+			// itself is not run — a genuinely hung cell computes nothing.
+			time.Sleep(af.stall)
+			ch <- outcome{err: fmt.Errorf("sweep: cell %s: chaos: injected stall", c.Label())}
+			return
+		}
+		if af.panics {
+			panic("chaos: injected cell panic")
+		}
 		ch <- runCell(c)
 	}()
 	if s.cfg.Timeout <= 0 {
@@ -311,23 +406,34 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 		var rec record
 		ok, err := s.cfg.Cache.Get(key, &rec)
 		if err == nil && ok {
-			cached = true
-			switch {
-			case c.Kind == Footprint && rec.Footprint != nil:
-				o = outcome{fp: *rec.Footprint}
-			case c.Kind != Footprint && rec.Result != nil:
-				o = outcome{res: *rec.Result}
-			default:
-				cached = false // wrong shape: treat as corrupt → recompute
-			}
-			if cached {
-				// The record remembers how long this cell took to compute;
-				// train the estimator so LPT ordering and the ETA stay
-				// accurate on cache-heavy resumes.
-				s.est.observe(c, rec.Seconds)
+			// Identity check: the record parsed, but does its content still
+			// hash to the key it was stored under? A stale record — a writer
+			// that keyed one cell and stored another, or a record rewritten
+			// in place — fails here and is evicted. (Torn and garbage records
+			// never reach this point; Get evicts those itself.) Evictions are
+			// recoveries: the cell is recomputed, not failed.
+			if k2, kerr := rec.Cell.Key(); kerr != nil || k2 != key {
+				s.cfg.Cache.Evict(key, fmt.Errorf("record content does not match its key (stale or corrupt)"))
+			} else {
+				cached = true
+				switch {
+				case c.Kind == Footprint && rec.Footprint != nil:
+					o = outcome{fp: *rec.Footprint}
+				case c.Kind != Footprint && rec.Result != nil:
+					o = outcome{res: *rec.Result}
+				default:
+					cached = false // wrong shape: treat as corrupt → recompute
+				}
+				if cached {
+					// The record remembers how long this cell took to compute;
+					// train the estimator so LPT ordering and the ETA stay
+					// accurate on cache-heavy resumes.
+					s.est.observe(c, rec.Seconds)
+				}
 			}
 		}
 	}
+	recovered, quarantined := false, false
 	if !cached {
 		if s.cfg.TraceDir != "" {
 			c.TraceDir = s.cfg.TraceDir
@@ -336,26 +442,35 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 		// Telemetry rides along the same way TraceDir does: injected after
 		// Key() so live observability never changes what a cell IS.
 		c.Spec.Telemetry = s.cfg.Telemetry
-		began := time.Now()
-		o = s.execCell(c)
-		seconds := time.Since(began).Seconds()
+		var hi healInfo
+		o, hi = s.computeHealed(c, key)
 		if o.err == nil {
-			s.est.observe(c, seconds)
-		}
-		if o.err == nil && s.cfg.Cache != nil {
-			rec := record{Cell: c, Seconds: seconds}
-			if c.Kind == Footprint {
-				fp := o.fp
-				rec.Footprint = &fp
-			} else {
-				res := o.res
-				rec.Result = &res
+			s.est.observe(c, hi.seconds)
+			// The cell landed after a disruption — a retried attempt, a
+			// worker-crash requeue, or a corrupt-cache eviction — so the
+			// sweep healed it.
+			recovered = hi.recovered || s.takeDisrupted(key)
+			if s.cfg.Cache != nil {
+				rec := record{Cell: c, Seconds: hi.seconds}
+				if c.Kind == Footprint {
+					fp := o.fp
+					rec.Footprint = &fp
+				} else {
+					res := o.res
+					rec.Result = &res
+				}
+				// A failed Put (e.g. unencodable value) only costs a
+				// recompute next run; it must not fail the sweep.
+				if err := s.cfg.Cache.Put(key, rec); err != nil {
+					s.progressf("sweep: warning: %v", err)
+				} else {
+					s.afflictRecord(c, key)
+				}
 			}
-			// A failed Put (e.g. unencodable value) only costs a
-			// recompute next run; it must not fail the sweep.
-			if err := s.cfg.Cache.Put(key, rec); err != nil {
-				s.progressf("sweep: warning: %v", err)
-			}
+		} else if hi.quarantine && fromPool {
+			// Retry budget exhausted: demote to the serial single-retry pass
+			// that runs after the pool drains, instead of failing outright.
+			quarantined = true
 		}
 	}
 
@@ -366,6 +481,12 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 	} else {
 		m.Add("cells_computed", 1)
 	}
+	if recovered {
+		m.Add("cells_recovered", 1)
+	}
+	if quarantined {
+		m.Add("cells_quarantined", 1)
+	}
 	if tc := s.tc; tc != nil {
 		tc.done.Inc(0)
 		if cached {
@@ -373,12 +494,20 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 		} else {
 			tc.computed.Inc(0)
 		}
-		if o.err != nil {
+		if o.err != nil && !quarantined {
 			tc.failed.Inc(0)
+		}
+		if recovered {
+			tc.recovered.Inc(0)
+		}
+		if quarantined {
+			tc.quarantined.Inc(0)
 		}
 	}
 	if o.err != nil {
-		m.Add("cells_failed", 1)
+		if !quarantined {
+			m.Add("cells_failed", 1)
+		}
 	} else if c.Kind != Footprint {
 		m.Add("tx_begins", o.res.Engine.Begins)
 		m.Add("tx_commits", o.res.Engine.Commits)
@@ -397,8 +526,15 @@ func (s *Scheduler) obtain(c Cell, fromPool bool) outcome {
 		} else {
 			s.computed++
 		}
-		if o.err != nil {
+		switch {
+		case quarantined:
+			s.quarantined++
+			s.quarantine = append(s.quarantine, quarCell{c: c, key: key})
+		case o.err != nil:
 			s.failed++
+		}
+		if recovered {
+			s.recovered++
 		}
 		if s.tc != nil {
 			if eta, ok := s.etaSecondsLocked(); ok {
@@ -448,6 +584,15 @@ func (s *Scheduler) emitProgressLocked(c Cell, cached bool) {
 	}
 	if s.failed > 0 {
 		line += fmt.Sprintf(" failed=%d", s.failed)
+	}
+	if s.retried > 0 {
+		line += fmt.Sprintf(" retried=%d", s.retried)
+	}
+	if s.quarantined > 0 {
+		line += fmt.Sprintf(" quarantined=%d", s.quarantined)
+	}
+	if s.recovered > 0 {
+		line += fmt.Sprintf(" recovered=%d", s.recovered)
 	}
 	// ETA = per-class EWMA durations weighted by the remaining planned
 	// work, divided across the worker pool. The old global-mean estimate
@@ -521,6 +666,10 @@ func (s *Scheduler) Prewarm(cells []Cell) Summary {
 	s.mu.Lock()
 	s.total = len(unique)
 	s.done, s.computed, s.cached, s.failed = 0, 0, 0, 0
+	s.retried, s.quarantined, s.recovered, s.evicted = 0, 0, 0, 0
+	s.quarantine = nil
+	s.disrupted = map[string]bool{}
+	s.crashed = map[string]bool{}
 	s.workers = jobs
 	s.start = time.Now()
 	s.mu.Unlock()
@@ -539,43 +688,72 @@ func (s *Scheduler) Prewarm(cells []Cell) Summary {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
-			for {
-				c, ok := deques[self].popFront()
-				if !ok {
-					c, ok = steal(deques, self)
-					if !ok {
-						return
-					}
-					steals.Add(1)
-					if workers != nil {
-						workers.NoteSteal(self)
-						s.tc.steals.Inc(self)
-					}
-				}
-				if workers != nil {
-					workers.Begin(self, c.Label())
-				}
-				s.obtain(c, true)
-				if workers != nil {
-					workers.End(self)
-				}
+			// Supervisor loop: a chaos-crashed worker (heal.go) requeues its
+			// cell before dying and is restarted here, so an injected crash
+			// never strands work or shrinks the pool.
+			for s.runWorker(deques, self, workers, &steals) {
+				s.progressf("sweep: worker %d crashed (injected); restarting", self)
 			}
 		}(i)
 	}
 	wg.Wait()
+	s.retryQuarantined()
 	s.est.save(s.cfg.Cache)
 
 	s.mu.Lock()
 	sum := Summary{
-		Cells:    s.total,
-		Computed: s.computed,
-		Cached:   s.cached,
-		Failed:   s.failed,
-		Steals:   int(steals.Load()),
-		Elapsed:  time.Since(s.start),
+		Cells:       s.total,
+		Computed:    s.computed,
+		Cached:      s.cached,
+		Failed:      s.failed,
+		Steals:      int(steals.Load()),
+		Retried:     s.retried,
+		Quarantined: s.quarantined,
+		Recovered:   s.recovered,
+		Evicted:     s.evicted,
+		Elapsed:     time.Since(s.start),
 	}
 	s.mu.Unlock()
 	return sum
+}
+
+// runWorker drains cells until every deque is empty. It reports true when
+// the worker died to an injected crash (the supervisor restarts it) and
+// false when the pass is over.
+func (s *Scheduler) runWorker(deques []*deque, self int, workers *obs.WorkerTable, steals *atomic.Int64) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(workerCrash); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	for {
+		c, ok := deques[self].popFront()
+		if !ok {
+			c, ok = steal(deques, self)
+			if !ok {
+				return false
+			}
+			steals.Add(1)
+			if workers != nil {
+				workers.NoteSteal(self)
+				s.tc.steals.Inc(self)
+			}
+		}
+		// The crash point sits before Begin so the worker table never shows
+		// a Begin without a matching End.
+		s.maybeCrashWorker(deques, self, c)
+		if workers != nil {
+			workers.Begin(self, c.Label())
+		}
+		s.obtain(c, true)
+		if workers != nil {
+			workers.End(self)
+		}
+	}
 }
 
 // Measure implements harness.Exec.

@@ -61,6 +61,9 @@ func Verify(spec RunSpec) error {
 func (s RunSpec) runVerifyOnce(mode string) (int, bool, error) {
 	cfg := s.engineConfig(s.Threads, s.Seed)
 	cfg.Space = acquireSpace(cfg.SpaceSize)
+	// Chaos rides into the verification runs too: the differential modes
+	// must agree under injected aborts, not only on clean executions.
+	cfg.Faults = s.Faults
 	e := htm.New(s.platformSpec(), cfg)
 	b, err := stamp.New(s.Benchmark, s.benchConfig(s.Seed))
 	if err != nil {

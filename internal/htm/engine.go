@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"htmcmp/internal/chaos"
 	"htmcmp/internal/mem"
 	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
@@ -165,6 +166,16 @@ type Config struct {
 	// never advances virtual time, so witnessed runs are cycle-identical
 	// to unwitnessed ones. See witness.go for scope and limitations.
 	Witness *Witness
+	// Faults, when set, is the deterministic chaos injector (internal/chaos)
+	// driving engine-level fault injection: interrupt-style spurious aborts
+	// at the commit boundary, forced capacity overflows at the capacity
+	// checks, and NOrec sequence-lock contention on STM loads. Same cost
+	// contract as Tracer/Metrics/Witness: nil costs one pointer check per
+	// hook and never advances virtual time, so runs with chaos off are
+	// cycle-identical to runs built before the injector existed. Injected
+	// aborts unwind through the ordinary abort path (rollback, stats,
+	// witness), so chaos runs remain serializable.
+	Faults *chaos.Injector
 	// Virtual enables the deterministic virtual-time scheduler: one
 	// thread runs at a time, costs advance per-thread virtual clocks, and
 	// the scheduler always resumes the minimum-clock thread. This makes

@@ -38,6 +38,13 @@ const (
 	// ReasonCommitterConflict is raised in the requesting transaction when
 	// the conflicting owner is mid-commit and therefore immune.
 	ReasonCommitterConflict
+	// ReasonInterrupt is an interrupt-induced (spurious) abort: BG/Q and
+	// zEC12 transactions die whenever an external interrupt is delivered
+	// mid-transaction (Section 2), independent of the program's behaviour.
+	// Transient — a retry usually succeeds. Raised only by the chaos
+	// injector (internal/chaos); real scheduling noise is outside the
+	// virtual-time model.
+	ReasonInterrupt
 
 	numReasons
 )
@@ -68,6 +75,8 @@ func (r Reason) String() string {
 		return "cache-fetch"
 	case ReasonCommitterConflict:
 		return "committer-conflict"
+	case ReasonInterrupt:
+		return "interrupt"
 	}
 	return "unknown"
 }

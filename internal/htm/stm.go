@@ -1,6 +1,7 @@
 package htm
 
 import (
+	"htmcmp/internal/chaos"
 	"htmcmp/internal/mem"
 )
 
@@ -142,10 +143,31 @@ func (t *Thread) stmValidate() {
 	}
 }
 
+// injectSTMContention models a concurrent NOrec writer commit: the global
+// sequence lock advances by 2 (even to even, CAS so a real writer holding
+// the odd lock is never corrupted), publishing nothing. Every in-flight
+// software transaction observes the moved clock and revalidates its read
+// log — the cost NOrec pays under write contention — and, values being
+// unchanged, continues.
+func (t *Thread) injectSTMContention() {
+	for {
+		s := t.eng.stmSeq.Load()
+		if s&1 == 1 {
+			return // a real writer holds the lock: contention already exists
+		}
+		if t.eng.stmSeq.CompareAndSwap(s, s+2) {
+			return
+		}
+	}
+}
+
 // stmLoadWord performs a NOrec transactional load of the aligned word at a.
 func (t *Thread) stmLoadWord(a mem.Addr) uint64 {
 	if v, ok := t.stm.writes.get(a); ok {
 		return v
+	}
+	if t.faults != nil && t.faults.Roll(chaos.STMContention) {
+		t.injectSTMContention()
 	}
 	t.work(t.eng.scaledCost(stmLoadCost))
 	t.maybeYield()

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"htmcmp/internal/chaos"
 	"htmcmp/internal/mem"
 	"htmcmp/internal/obs"
 	"htmcmp/internal/platform"
@@ -109,6 +110,11 @@ type Thread struct {
 	// metrics caches cfg.Metrics: nil means live telemetry is off and each
 	// boundary pays one nil check, exactly like trace.
 	metrics *obs.EngineMetrics
+	// faults caches this thread's chaos roll stream (cfg.Faults): nil means
+	// fault injection is off and every hook is one nil check, exactly like
+	// trace/metrics/wit. The stream is derived per slot, so injection under
+	// the virtual-time scheduler is deterministic.
+	faults *chaos.Stream
 
 	// Witness-log state (witness.go). wit caches cfg.Witness: nil means
 	// recording is off and every hook is one nil check. witSeen dedupes
@@ -168,6 +174,9 @@ func newThread(e *Engine, slot int) *Thread {
 		t.trace = e.cfg.Tracer.Ring(slot)
 	}
 	t.metrics = e.cfg.Metrics
+	if e.cfg.Faults != nil {
+		t.faults = e.cfg.Faults.Stream(slot)
+	}
 	if e.cfg.Witness != nil {
 		t.wit = e.cfg.Witness
 		t.witSeen.init()
@@ -426,6 +435,15 @@ func (t *Thread) begin(kind TxKind) {
 // commit publishes buffered stores and releases ownership. A committing
 // transaction is immune to dooming: conflicting requesters abort instead.
 func (t *Thread) commit() {
+	// Injected interrupt: the transaction dies at the commit boundary the
+	// way BG/Q and zEC12 transactions die when an external interrupt lands.
+	// Raised before the commit sequence number is drawn and before the
+	// transaction turns visibly committing, so the ordinary transient-abort
+	// path (rollback, retry) handles it. Hardened (constrained) transactions
+	// are immune, as on real zEC12.
+	if t.faults != nil && !t.hardened && t.faults.Roll(chaos.SpuriousAbort) {
+		t.abortNow(ReasonInterrupt, false)
+	}
 	// The commit sequence number is taken before the transaction becomes
 	// visibly committing: any access that observes the committing status
 	// (and therefore orders itself after this commit) is guaranteed to draw
@@ -839,6 +857,13 @@ func (t *Thread) capacityCheckLoad() {
 	if t.eng.cfg.UnboundedCapacity {
 		return
 	}
+	// Injected capacity overflow: the footprint fits, but the effective
+	// budget did not (an SMT neighbour's transaction, a way conflict the
+	// model's set mapping missed). Persistent, like real capacity aborts, so
+	// the runtime's irrevocable fallback — not blind retry — must recover it.
+	if t.faults != nil && !t.hardened && t.faults.Roll(chaos.CapacityFault) {
+		t.abortNow(ReasonCapacityLoad, true)
+	}
 	div := t.eng.smtDivisor(t.core)
 	cap := t.eng.loadCapLines / div
 	if cap < 1 {
@@ -862,6 +887,9 @@ func (t *Thread) capacityCheckLoad() {
 func (t *Thread) capacityCheckStore(line uint32) {
 	if t.eng.cfg.UnboundedCapacity {
 		return
+	}
+	if t.faults != nil && !t.hardened && t.faults.Roll(chaos.CapacityFault) {
+		t.abortNow(ReasonCapacityStore, true)
 	}
 	div := t.eng.smtDivisor(t.core)
 	cap := t.eng.storeCapLines / div
