@@ -28,12 +28,19 @@ test:
 race:
 	$(GO) test -race -tags racecheck ./internal/...
 
+# lint runs go vet, the gofmt gate, and htmlint — the repo's own
+# invariant checkers (internal/lint): determinism of the simulated core,
+# nil-gated instrumentation hooks, sweep cache identity, build-tag twin
+# symmetry, and unmixed atomic/plain access. Intentional violations are
+# annotated in source with `//htmlint:allow <check> -- <reason>`.
 lint:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
+	$(GO) build -o $(BIN)/htmlint ./cmd/htmlint
+	./$(BIN)/htmlint ./...
 
 # bench-smoke runs the figure sweep twice at test scale against a fresh
 # cache: the first run computes every cell, the second must report a 100%

@@ -1,0 +1,78 @@
+// Command htmlint runs the repo's invariant checkers (internal/lint)
+// over a package pattern and reports findings in vet-style text or as a
+// JSON array (the CI artifact format).
+//
+// Usage:
+//
+//	htmlint [-json] [-c check1,check2] [packages]
+//
+// Exit status: 0 when clean, 1 when there are findings, 2 on usage or
+// load errors. Intentional violations are silenced in the source with
+// `//htmlint:allow <check> -- <reason>`; see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"htmcmp/internal/lint"
+)
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("htmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checks := fs.String("c", "", "comma-separated checks to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: htmlint [-json] [-c checks] [packages]\n\nchecks:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var names []string
+	if *checks != "" {
+		names = strings.Split(*checks, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fmt.Fprintln(stderr, "htmlint:", err)
+		return 2
+	}
+
+	pkgs, err := lint.Load(dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "htmlint:", err)
+		return 2
+	}
+	diags, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, "htmlint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "htmlint:", err)
+			return 2
+		}
+	} else if err := lint.WriteText(stdout, diags); err != nil {
+		fmt.Fprintln(stderr, "htmlint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+var badmod = filepath.Join("testdata", "badmod")
+
+// TestBadModuleJSON is the end-to-end smoke test: the known-bad fixture
+// module must produce exit code 1 and a parseable -json findings array
+// naming the expected checks.
+func TestBadModuleJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(badmod, []string{"-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		Check   string `json:"check"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	counts := map[string]int{}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("finding missing position or message: %+v", d)
+		}
+		counts[d.Check]++
+	}
+	if counts["determinism"] != 2 || counts["cachekey"] != 1 || len(diags) != 3 {
+		t.Errorf("findings per check = %v, want determinism:2 cachekey:1 and no others", counts)
+	}
+}
+
+// TestBadModuleCheckSelection: restricting to one check must hide the
+// other findings but still exit 1.
+func TestBadModuleCheckSelection(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(badmod, []string{"-c", "cachekey", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		Check string `json:"check"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Check != "cachekey" {
+		t.Errorf("got %+v, want exactly one cachekey finding", diags)
+	}
+}
+
+func TestUnknownCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(badmod, []string{"-c", "nope", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(badmod, []string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}

@@ -1,0 +1,15 @@
+// Package htm is a deliberately dirty core package for the htmlint
+// smoke test: one wall-clock read and one observable map iteration.
+package htm
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

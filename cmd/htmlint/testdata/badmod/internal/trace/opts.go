@@ -1,0 +1,8 @@
+// Package trace carries a required cache-identity struct with no
+// //htmlint:cachekey marker.
+package trace
+
+// Options would feed sweep cache keys in the real tree.
+type Options struct {
+	Scale int
+}

@@ -425,20 +425,26 @@ func TestControllerBookkeeping(t *testing.T) {
 // TestModeAndClassNames keeps the event vocabulary stable (events carry raw
 // codes; names are the contract with trace tooling).
 func TestModeAndClassNames(t *testing.T) {
-	for m, want := range map[Mode]string{ModeHTM: "htm", ModeSTM: "stm", ModeLock: "lock"} {
-		if got := m.String(); got != want {
-			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+	for _, tc := range []struct {
+		m    Mode
+		want string
+	}{{ModeHTM, "htm"}, {ModeSTM, "stm"}, {ModeLock, "lock"}} {
+		if got := tc.m.String(); got != tc.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", tc.m, got, tc.want)
 		}
 	}
 	if got := Mode(9).String(); got != "mode(9)" {
 		t.Errorf("out-of-range mode name = %q", got)
 	}
-	for c, want := range map[Class]string{
-		ClassConflict: "conflict", ClassCapacity: "capacity",
-		ClassLockConflict: "lock", ClassOther: "other", ClassSTMConflict: "stm-conflict",
+	for _, tc := range []struct {
+		c    Class
+		want string
+	}{
+		{ClassConflict, "conflict"}, {ClassCapacity, "capacity"},
+		{ClassLockConflict, "lock"}, {ClassOther, "other"}, {ClassSTMConflict, "stm-conflict"},
 	} {
-		if got := c.String(); got != want {
-			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("Class(%d).String() = %q, want %q", tc.c, got, tc.want)
 		}
 	}
 	if got := Class(9).String(); got != "class(9)" {

@@ -115,12 +115,18 @@ type outcome struct {
 	err error
 }
 
-// Config configures a Scheduler.
+// Config configures a Scheduler. It is on the cachekey-checked list
+// because its handle fields ride next to the cell grid that IS keyed:
+// excluding them via json:"-" keeps any future serialization of sweep
+// state (resume manifests, torn-record repros) from coupling identity to
+// runtime attachments. The frozen fields predate the lint.
+//
+//htmlint:cachekey frozen=Jobs,Resume,Timeout,TraceDir,Retries,RetryBackoff,RetryBackoffCap,Seed
 type Config struct {
 	// Jobs is the worker-pool size; <= 0 means GOMAXPROCS.
 	Jobs int
 	// Cache, when non-nil, persists results between runs.
-	Cache *cache.Store
+	Cache *cache.Store `json:"-"`
 	// Resume reads previously cached results (a fresh or interrupted
 	// sweep skips completed cells). When false, every cell is recomputed
 	// and, if Cache is set, its record overwritten.
@@ -130,7 +136,7 @@ type Config struct {
 	// the simulator has no preemption points).
 	Timeout time.Duration
 	// Progress, when non-nil, receives live progress/ETA lines.
-	Progress io.Writer
+	Progress io.Writer `json:"-"`
 	// TraceDir, when non-empty, writes per-cell JSONL event files for
 	// every cell computed in this process. Cache hits execute nothing and
 	// produce no files; the directory is injected into cells only after
@@ -141,14 +147,14 @@ type Config struct {
 	// cells_recovered, cache_evictions, tx_begins, tx_commits, tx_aborts)
 	// as cells complete; the progress line reads them. New allocates one
 	// when nil.
-	Metrics *obs.Metrics
+	Metrics *obs.Metrics `json:"-"`
 	// Telemetry, when set, is threaded into every computed cell's RunSpec
 	// (live engine counters + flight-recorder event segments), mirrored
 	// into registry counters (sweep_cells_*_total, sweep_steals_total) and
 	// the sweep_eta_seconds gauge, and kept current in the worker table
 	// the dashboard renders. Injected after cache keys are computed, so —
 	// like TraceDir — it never perturbs cache identity.
-	Telemetry *obs.Telemetry
+	Telemetry *obs.Telemetry `json:"-"`
 	// Retries is the per-cell bounded retry budget (heal.go): a failed or
 	// chaos-afflicted attempt is re-executed up to Retries times with
 	// jittered exponential backoff before the cell is quarantined for one
@@ -173,7 +179,7 @@ type Config struct {
 	// fault is recoverable: afflicted attempts must complete but their
 	// fault-perturbed measurements are discarded and recomputed clean, so
 	// rendered tables are byte-identical to a fault-free sweep.
-	Faults *chaos.Injector
+	Faults *chaos.Injector `json:"-"`
 }
 
 // Summary reports what a Prewarm pass did.

@@ -13,7 +13,7 @@ import (
 func chaosEngine(t *testing.T, k platform.Kind, threads int, rates map[chaos.Class]float64) (*Engine, *chaos.Injector) {
 	t.Helper()
 	cfg := chaos.Config{Seed: 99, Persist: 1}
-	for c, p := range rates {
+	for c, p := range rates { //htmlint:allow determinism -- keyed copy into OpRates, order-insensitive
 		cfg.OpRates[c] = p
 	}
 	in := chaos.New(cfg)

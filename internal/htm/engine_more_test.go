@@ -7,20 +7,23 @@ import (
 )
 
 func TestReasonCategories(t *testing.T) {
-	want := map[Reason]Category{
-		ReasonConflict:          CategoryDataConflict,
-		ReasonNonTxConflict:     CategoryDataConflict,
-		ReasonCommitterConflict: CategoryDataConflict,
-		ReasonCapacityLoad:      CategoryCapacity,
-		ReasonCapacityStore:     CategoryCapacity,
-		ReasonCapacityWay:       CategoryCapacity,
-		ReasonCapacitySMT:       CategoryCapacity,
-		ReasonExplicit:          CategoryOther,
-		ReasonCacheFetch:        CategoryOther,
+	want := []struct {
+		r Reason
+		c Category
+	}{
+		{ReasonConflict, CategoryDataConflict},
+		{ReasonNonTxConflict, CategoryDataConflict},
+		{ReasonCommitterConflict, CategoryDataConflict},
+		{ReasonCapacityLoad, CategoryCapacity},
+		{ReasonCapacityStore, CategoryCapacity},
+		{ReasonCapacityWay, CategoryCapacity},
+		{ReasonCapacitySMT, CategoryCapacity},
+		{ReasonExplicit, CategoryOther},
+		{ReasonCacheFetch, CategoryOther},
 	}
-	for r, c := range want {
-		if r.Category() != c {
-			t.Errorf("%v category = %v, want %v", r, r.Category(), c)
+	for _, tc := range want {
+		if tc.r.Category() != tc.c {
+			t.Errorf("%v category = %v, want %v", tc.r, tc.r.Category(), tc.c)
 		}
 	}
 	for r := 0; r < NumReasons; r++ {

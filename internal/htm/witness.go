@@ -131,7 +131,7 @@ func (w *Witness) attach(e *Engine) {
 	w.lineSize = e.lineSize
 	w.lineShift = e.lineShift
 	w.nLines = e.nLines
-	w.ver = make([]uint64, e.nLines)
+	w.ver = make([]uint64, e.nLines) //htmlint:allow atomicmix -- attach runs before any thread exists
 	w.recs = make([][]TxRecord, e.cfg.Threads)
 	w.seq.Store(0)
 	w.initial = nil
@@ -146,7 +146,7 @@ func (w *Witness) Start() {
 		panic("htm: Witness.Start before the witness was attached to an engine (Config.Witness)")
 	}
 	w.initial = append(w.initial[:0], w.space.Data()...)
-	for i := range w.ver {
+	for i := range w.ver { //htmlint:allow atomicmix -- Start is documented quiescent: no transactions in flight
 		w.ver[i] = 0
 	}
 	for i := range w.recs {
@@ -223,7 +223,7 @@ func (t *Thread) witnessRead(line uint32) {
 	}
 	t.witSeen.put(line, true)
 	sh := t.lockLine(line)
-	v := atomic.LoadUint64(&t.wit.ver[line])
+	v := atomic.LoadUint64(&t.wit.ver[line]) //htmlint:allow nilgate -- recording hooks run only when the thread has a witness (see section header)
 	sum := LineSum(t.eng.space.Data(), line, t.eng.lineSize)
 	unlockLine(sh)
 	t.witReads = append(t.witReads, WitnessRead{Line: line, Ver: v, Sum: sum})

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicmixAnalyzer flags the race class behind the PR 1 Engine.Aborts
+// bug: a struct field that is accessed through sync/atomic somewhere
+// must not also be read or written plainly elsewhere — mixing the two
+// is a data race even when each side looks locally harmless. A plain
+// access is tolerated when it happens under a mutex Lock/RLock held in
+// the same function (quiescent phases guarded by a dominating lock),
+// otherwise it must be converted to an atomic op or justified with an
+// //htmlint:allow atomicmix directive.
+//
+// Fields of atomic.* type (sync/atomic.Uint64 and friends) get the
+// complementary check: copying such a field by value detaches it from
+// the shared location, so any use that is neither a method call nor an
+// address-taken expression is reported.
+var AtomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed via sync/atomic must not also be accessed plainly outside a " +
+		"dominating lock",
+	Run: runAtomicmix,
+}
+
+type atomicmixChecker struct {
+	pass *Pass
+	// atomicFields holds struct fields observed as &x.f (or &x.f[i])
+	// arguments to sync/atomic calls anywhere in the package.
+	atomicFields map[types.Object]bool
+	// sanctioned marks selector nodes that ARE the atomic access (or an
+	// address-taking of an atomic.* field) so pass 2 skips them.
+	sanctioned map[*ast.SelectorExpr]bool
+}
+
+func runAtomicmix(pass *Pass) error {
+	c := &atomicmixChecker{
+		pass:         pass,
+		atomicFields: map[types.Object]bool{},
+		sanctioned:   map[*ast.SelectorExpr]bool{},
+	}
+	// Pass 1: find every field whose address feeds a sync/atomic call,
+	// and every sanctioned use of an atomic.*-typed field.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, c.collect)
+	}
+	if len(c.atomicFields) == 0 && !c.hasAtomicTypedUse() {
+		return nil
+	}
+	// Pass 2: flag plain accesses of those fields outside a lock.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					c.checkFunc(d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level initializers run before goroutines
+				// exist; only the copy check applies there.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if sel, ok := n.(*ast.SelectorExpr); ok {
+						c.checkCopyOnly(sel)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+func (c *atomicmixChecker) collect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if !c.isAtomicPkgCall(n) {
+			return true
+		}
+		for _, arg := range n.Args {
+			if sel := addrOfFieldSelector(arg); sel != nil {
+				if obj := c.fieldObject(sel); obj != nil {
+					c.atomicFields[obj] = true
+					c.sanctioned[sel] = true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// x.f.Load() / x.f.Store(v): the receiver selector x.f of an
+		// atomic.* method is the sanctioned access.
+		if sel, ok := n.X.(*ast.SelectorExpr); ok {
+			if c.fieldObject(sel) != nil && c.isAtomicTyped(sel) && c.isMethodSel(n) {
+				c.sanctioned[sel] = true
+			}
+		}
+	case *ast.UnaryExpr:
+		// &x.f of an atomic.* field: address-taken, still shared.
+		if n.Op == token.AND {
+			if sel, ok := n.X.(*ast.SelectorExpr); ok && c.isAtomicTyped(sel) {
+				c.sanctioned[sel] = true
+			}
+		}
+	}
+	return true
+}
+
+// checkFunc walks a function body in source order keeping a linear
+// Lock/Unlock depth count. The depth is an approximation — which mutex
+// is irrelevant, only that some lock dominates the access — and a
+// deferred Unlock does not release (the lock is held for the remainder
+// of the function).
+func (c *atomicmixChecker) checkFunc(body *ast.BlockStmt) {
+	depth := 0
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			switch lockMethodName(n) {
+			case "Lock", "RLock":
+				depth++
+			case "Unlock", "RUnlock":
+				if !deferred[n] && depth > 0 {
+					depth--
+				}
+			}
+		case *ast.SelectorExpr:
+			c.checkSelector(n, depth)
+			// The walk continues into X so chained selectors (a.b.c)
+			// are each examined once.
+		}
+		return true
+	})
+}
+
+func (c *atomicmixChecker) checkSelector(sel *ast.SelectorExpr, depth int) {
+	if c.sanctioned[sel] {
+		return
+	}
+	obj := c.fieldObject(sel)
+	if obj == nil {
+		return
+	}
+	if c.atomicFields[obj] && depth == 0 {
+		c.pass.Reportf(sel.Pos(),
+			"%s is accessed via sync/atomic elsewhere in this package but read/written plainly "+
+				"here outside a lock: mixed access is a data race (use atomic ops, or hold the "+
+				"guarding mutex)", c.fieldLabel(sel, obj))
+		return
+	}
+	c.checkCopyOnly(sel)
+}
+
+// checkCopyOnly reports value copies of atomic.*-typed fields — uses
+// that are neither sanctioned method receivers nor address-takings.
+func (c *atomicmixChecker) checkCopyOnly(sel *ast.SelectorExpr) {
+	if c.sanctioned[sel] {
+		return
+	}
+	obj := c.fieldObject(sel)
+	if obj == nil || !c.isAtomicTyped(sel) {
+		return
+	}
+	c.pass.Reportf(sel.Pos(),
+		"%s has atomic type %s and is copied by value here: the copy detaches from the shared "+
+			"location (call its methods or take its address instead)",
+		c.fieldLabel(sel, obj), obj.Type().String())
+}
+
+// hasAtomicTypedUse reports whether any field selection in the package
+// has an atomic.* type, so pass 2 can be skipped entirely otherwise.
+func (c *atomicmixChecker) hasAtomicTypedUse() bool {
+	for expr, s := range c.pass.Pkg.Info.Selections {
+		if s.Kind() == types.FieldVal && c.isAtomicTyped(expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *atomicmixChecker) fieldObject(sel *ast.SelectorExpr) types.Object {
+	s := c.pass.Pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// fieldLabel renders "Type.Field" for diagnostics.
+func (c *atomicmixChecker) fieldLabel(sel *ast.SelectorExpr, obj types.Object) string {
+	if s := c.pass.Pkg.Info.Selections[sel]; s != nil {
+		t := s.Recv()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+	}
+	return obj.Name()
+}
+
+func (c *atomicmixChecker) isAtomicTyped(sel *ast.SelectorExpr) bool {
+	s := c.pass.Pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return false
+	}
+	named, ok := s.Obj().Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isMethodSel reports whether the selector resolves to a method (the
+// x.f.Load in x.f.Load()).
+func (c *atomicmixChecker) isMethodSel(sel *ast.SelectorExpr) bool {
+	s := c.pass.Pkg.Info.Selections[sel]
+	return s != nil && s.Kind() == types.MethodVal
+}
+
+// isAtomicPkgCall reports whether the call's callee is a function from
+// package sync/atomic (atomic.LoadUint64, atomic.AddInt32, ...).
+func (c *atomicmixChecker) isAtomicPkgCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := c.pass.Pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic"
+}
+
+// lockMethodName returns the method name of a call like mu.Lock() when
+// it is one of the four mutex verbs, else "".
+func lockMethodName(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// addrOfFieldSelector unwraps &x.f or &x.f[i] down to the field
+// selector, or nil when the argument has another shape.
+func addrOfFieldSelector(arg ast.Expr) *ast.SelectorExpr {
+	u, ok := arg.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	x := u.X
+	if ix, ok := x.(*ast.IndexExpr); ok {
+		x = ix.X
+	}
+	sel, _ := x.(*ast.SelectorExpr)
+	return sel
+}

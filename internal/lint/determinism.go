@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CorePathSuffixes lists the packages forming the deterministic core:
+// everything that executes between a fixed seed and a rendered table.
+// A fixed-seed run must be bit-identical across hosts (the paper's
+// tables compare abort rates and speedups quantitatively, and the
+// golden determinism tests pin exact rows), so these packages must not
+// read wall-clock time, host randomness, or the environment, and must
+// not iterate maps where the order can escape. Host-side packages
+// (internal/obs, the sweep scheduler's timing, cmd/) are exempt.
+var CorePathSuffixes = []string{
+	"internal/htm",
+	"internal/mem",
+	"internal/tm",
+	"internal/adapt",
+	"internal/chaos",
+	"internal/txds",
+	"internal/prng",
+	"internal/stamp",
+}
+
+// DeterminismAnalyzer forbids nondeterminism sources in the core:
+// time.Now/Since/Until, anything from math/rand (seeded or not — the
+// core's only sanctioned generator is internal/prng, whose sequences
+// are part of the pinned golden results), os.Getenv and friends, and
+// range statements over maps that bind the iteration variables.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, math/rand, environment reads and observable map iteration " +
+		"in the deterministic simulation core",
+	Run: runDeterminism,
+}
+
+// bannedFuncs maps package path -> banned top-level identifiers. An
+// empty set bans every reference to the package.
+var bannedFuncs = map[string]map[string]bool{
+	"time":         {"Now": true, "Since": true, "Until": true},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"os":           {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+func runDeterminism(pass *Pass) error {
+	if !inCore(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.Pkg.Info.Uses[n]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				banned, ok := bannedFuncs[obj.Pkg().Path()]
+				if !ok {
+					return true
+				}
+				if banned == nil || banned[obj.Name()] {
+					pass.Reportf(n.Pos(),
+						"%s.%s in deterministic core package %s: fixed-seed runs must be bit-identical "+
+							"(use internal/prng / virtual time instead)",
+						obj.Pkg().Path(), obj.Name(), pass.Pkg.Path)
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Pkg.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				// `for range m {}` with no iteration variables only
+				// observes the count; order cannot escape.
+				if bindsVariable(n.Key) || bindsVariable(n.Value) {
+					pass.Reportf(n.Pos(),
+						"map iteration order is unordered and observable here; deterministic core "+
+							"code must iterate a sorted or insertion-ordered view")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func bindsVariable(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+		return false
+	}
+	return true
+}
+
+func inCore(path string) bool {
+	for _, s := range CorePathSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

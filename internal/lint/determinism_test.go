@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"htmcmp/internal/lint"
+	"htmcmp/internal/lint/linttest"
+)
+
+var fixtureDir = filepath.Join("testdata", "src")
+
+func TestDeterminism(t *testing.T) {
+	linttest.Check(t, fixtureDir,
+		[]*lint.Analyzer{lint.DeterminismAnalyzer}, "./internal/htm")
+}
+
+// TestDeterminismSkipsHostPackages proves the core-path scoping: the
+// host fixture reads the wall clock freely and must yield nothing
+// (the directive findings it also hosts are exercised separately).
+func TestDeterminismSkipsHostPackages(t *testing.T) {
+	diags := linttest.Findings(t, fixtureDir,
+		[]*lint.Analyzer{lint.DeterminismAnalyzer}, "./host")
+	for _, d := range diags {
+		if d.Check == lint.DeterminismAnalyzer.Name {
+			t.Errorf("determinism fired outside the core: %s", d)
+		}
+	}
+}

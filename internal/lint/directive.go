@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// directivePrefix introduces every in-source htmlint annotation.
+const directivePrefix = "//htmlint:"
+
+// An allowDirective is one parsed `//htmlint:allow <check> -- <reason>`.
+// It suppresses findings of the named check on its own line and on the
+// line directly below it (so it can ride at the end of the offending
+// line or on a comment line immediately above it).
+type allowDirective struct {
+	Check  string
+	Reason string
+	File   string
+	Line   int
+	used   bool
+}
+
+// directiveSet is every htmlint directive found in a set of packages,
+// plus malformed ones surfaced as diagnostics.
+type directiveSet struct {
+	allows    []*allowDirective
+	malformed []Diagnostic
+}
+
+// collectDirectives scans every comment of every parsed file (including
+// build-tag-excluded ones) for htmlint annotations. The cachekey struct
+// marker is validated and consumed by the cachekey analyzer itself; here
+// it is only checked for gross syntax.
+func collectDirectives(pkgs []*Package) *directiveSet {
+	ds := &directiveSet{}
+	seen := map[string]bool{} // file:line dedupe; base and xtest share ignored files
+	for _, pkg := range pkgs {
+		files := append([]*ast.File{}, pkg.Files...)
+		files = append(files, pkg.Ignored...)
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					ds.parse(c.Text[len(directivePrefix):], pos.Filename, pos.Line, pos.Column)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) parse(body, file string, line, col int) {
+	verb, rest, _ := strings.Cut(body, " ")
+	bad := func(msg string) {
+		ds.malformed = append(ds.malformed, Diagnostic{
+			Check: "directive", File: file, Line: line, Col: col, Message: msg,
+		})
+	}
+	switch verb {
+	case "allow":
+		spec, reason, ok := strings.Cut(rest, "--")
+		check := strings.TrimSpace(spec)
+		reason = strings.TrimSpace(reason)
+		if !ok || reason == "" {
+			bad("//htmlint:allow needs a justification: `//htmlint:allow <check> -- <reason>`")
+			return
+		}
+		if !knownCheck(check) {
+			bad("//htmlint:allow names unknown check " + quote(check))
+			return
+		}
+		ds.allows = append(ds.allows, &allowDirective{
+			Check: check, Reason: reason, File: file, Line: line,
+		})
+	case "cachekey":
+		// Validated in depth by the cachekey analyzer, which also
+		// reports markers that are attached to nothing.
+	default:
+		bad("unknown htmlint directive " + quote(verb) + " (want allow or cachekey)")
+	}
+}
+
+// apply filters diags through the allow directives, marking each
+// directive that suppressed at least one finding. It returns the
+// surviving findings.
+func (ds *directiveSet) apply(diags []Diagnostic) []Diagnostic {
+	byLine := map[string][]*allowDirective{}
+	for _, a := range ds.allows {
+		byLine[a.File+":"+strconv.Itoa(a.Line)] = append(byLine[a.File+":"+strconv.Itoa(a.Line)], a)
+	}
+	match := func(d Diagnostic, line int) bool {
+		for _, a := range byLine[d.File+":"+strconv.Itoa(line)] {
+			if a.Check == d.Check {
+				a.used = true
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if match(d, d.Line) || match(d, d.Line-1) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// unused reports every allow directive for an enabled check that
+// suppressed nothing — dead annotations are findings themselves, which
+// keeps each `//htmlint:allow` in the tree load-bearing: deleting the
+// violation it covers without deleting the directive fails the build,
+// and so does deleting neither-needed leftovers.
+func (ds *directiveSet) unused(enabled map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range ds.allows {
+		if !a.used && enabled[a.Check] {
+			out = append(out, Diagnostic{
+				Check: "directive", File: a.File, Line: a.Line, Col: 1,
+				Message: "//htmlint:allow " + a.Check + " suppresses no finding; delete it",
+			})
+		}
+	}
+	return out
+}
+
+func knownCheck(name string) bool {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

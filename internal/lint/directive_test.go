@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"htmcmp/internal/lint"
+	"htmcmp/internal/lint/linttest"
+)
+
+// TestDirectiveFindings runs the whole suite over the host fixture,
+// which deliberately carries one unused allow and three malformed
+// directives; each must surface as a "directive" finding and nothing
+// else may fire.
+func TestDirectiveFindings(t *testing.T) {
+	diags := linttest.Findings(t, fixtureDir, lint.Analyzers(), "./host")
+	wantSubstrings := []string{
+		"suppresses no finding",
+		"needs a justification",
+		"unknown check \"nosuchcheck\"",
+		"unknown htmlint directive \"frobnicate\"",
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(wantSubstrings), render(diags))
+	}
+	for _, d := range diags {
+		if d.Check != "directive" {
+			t.Errorf("non-directive finding in host fixture: %s", d)
+		}
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q:\n%s", want, render(diags))
+		}
+	}
+}
+
+// TestUnusedAllowDisabledCheck: an allow for a check that is not in the
+// enabled set must not be reported as unused — otherwise running a
+// single analyzer would flag every other analyzer's annotations.
+func TestUnusedAllowDisabledCheck(t *testing.T) {
+	diags := linttest.Findings(t, fixtureDir,
+		[]*lint.Analyzer{lint.TagpairAnalyzer}, "./host")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppresses no finding") {
+			t.Errorf("unused-allow reported for a disabled check: %s", d)
+		}
+	}
+}
+
+func render(ds []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

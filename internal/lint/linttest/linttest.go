@@ -1,0 +1,140 @@
+// Package linttest runs lint analyzers over fixture modules and checks
+// the findings against in-source expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a real Go module (its own go.mod) under a testdata
+// directory, so the production Load path — `go list -export` plus
+// export-data importing — is exactly what the tests exercise.
+// Expectations are trailing comments of the form
+//
+//	// want determinism:"regex" nilgate:"another regex"
+//
+// on the line the finding is reported at. Every finding must match a
+// want on its line, and every want for an enabled check must be matched
+// by a finding; either direction failing fails the test.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"htmcmp/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`([a-z]+):"((?:[^"\\]|\\.)*)"`)
+
+// Findings loads the fixture module at dir and runs the analyzers,
+// returning the diagnostics (directive findings included). It fails the
+// test on load or run errors.
+func Findings(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...string) []lint.Diagnostic {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	return diags
+}
+
+// Check runs the analyzers over the fixture module and compares the
+// findings against the fixture's `// want` comments.
+func Check(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	enabled := map[string]bool{"directive": true}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	wants := collectWants(t, pkgs, enabled)
+
+	for _, d := range diags {
+		key := d.File + ":" + strconv.Itoa(d.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if w.check == d.Check && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected %s finding matching %q, got none", key, w.check, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	check   string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every parsed file of the fixture — including
+// build-tag-excluded ones, where tagpair findings land — for want
+// comments. Wants naming checks outside the enabled set are ignored, so
+// one fixture tree serves both whole-suite and single-analyzer runs.
+func collectWants(t *testing.T, pkgs []*lint.Package, enabled map[string]bool) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		files := append([]*ast.File{}, pkg.Files...)
+		files = append(files, pkg.Ignored...)
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					body, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					matches := wantRe.FindAllStringSubmatch(body, -1)
+					if len(matches) == 0 {
+						t.Fatalf("%s: malformed want comment %q", key, c.Text)
+					}
+					for _, m := range matches {
+						if !enabled[m[1]] {
+							continue
+						}
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, m[2], err)
+						}
+						re, err := regexp.Compile(unq)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, unq, err)
+						}
+						wants[key] = append(wants[key], &want{check: m[1], re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

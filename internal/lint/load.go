@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package plus the parsed-but-not-
+// built files of its directory (build-tag-excluded sources, which the
+// tagpair analyzer needs).
+type Package struct {
+	// Path is the import path; external test packages carry the base
+	// path so per-package-path policy (e.g. the determinism core set)
+	// applies to them too.
+	Path string
+	Name string
+	Dir  string
+	Fset *token.FileSet
+	// Files are the type-checked sources. For the base package this is
+	// GoFiles plus in-package TestGoFiles (the same merge the test
+	// binary compiles); an external test package carries XTestGoFiles.
+	Files []*ast.File
+	// Ignored holds files excluded from the current build configuration
+	// by build constraints — parsed, never type-checked. Only set on
+	// the base package of a directory.
+	Ignored []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// IsTestFile reports whether f is a _test.go file of this package.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath     string
+	Name           string
+	Dir            string
+	Standard       bool
+	DepOnly        bool
+	ForTest        string
+	Export         string
+	GoFiles        []string
+	TestGoFiles    []string
+	XTestGoFiles   []string
+	IgnoredGoFiles []string
+}
+
+// Load enumerates, parses and type-checks the packages matched by
+// patterns under the module rooted at (or containing) dir. Dependencies
+// — standard library and module-internal alike — are resolved from
+// compiler export data produced by `go list -export`, so loading works
+// without network access and without re-type-checking the dependency
+// closure from source. CGO is disabled for hermeticity: the pure-Go
+// fallbacks of the few cgo-capable stdlib packages are what get
+// analyzed, matching how CI builds the tree.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e=false", "-test", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Standard,DepOnly,ForTest,Export,GoFiles,TestGoFiles,XTestGoFiles,IgnoredGoFiles",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		// Test variants ("p [p.test]") and synthetic test mains
+		// ("p.test") exist only so the dep closure includes test-only
+		// imports; the plain entries carry everything we analyze.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s matched no packages", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{exports: exports}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		base, err := checkPackage(fset, imp, t, append(t.GoFiles, t.TestGoFiles...), t.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range t.IgnoredGoFiles {
+			f, err := parseOne(fset, filepath.Join(t.Dir, name))
+			if err != nil {
+				return nil, err
+			}
+			base.Ignored = append(base.Ignored, f)
+		}
+		pkgs = append(pkgs, base)
+		if len(t.XTestGoFiles) > 0 {
+			// First try the external test package against pure export
+			// data — the only view whose type identities agree with
+			// sibling imports. That fails when the xtest references
+			// in-package test declarations of its base (export data
+			// does not carry them), so retry with the base's
+			// source-checked object overriding its import.
+			xt, err := checkPackage(fset, imp, t, t.XTestGoFiles, t.ImportPath+"_test")
+			if err != nil && len(t.TestGoFiles) > 0 {
+				imp.overridePath, imp.override = t.ImportPath, base.Types
+				xt, err = checkPackage(fset, imp, t, t.XTestGoFiles, t.ImportPath+"_test")
+				imp.overridePath, imp.override = "", nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			xt.Path = t.ImportPath // policy follows the directory's path
+			pkgs = append(pkgs, xt)
+		}
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one set of files as a package.
+func checkPackage(fset *token.FileSet, imp types.Importer, t *listPkg, names []string, path string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parseOne(fset, filepath.Join(t.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	name := tpkg.Name()
+	return &Package{
+		Path:  path,
+		Name:  name,
+		Dir:   t.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+func parseOne(fset *token.FileSet, path string) (*ast.File, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return f, nil
+}
+
+// exportImporter resolves every import from compiler export data — one
+// gc importer instance, so each path maps to exactly one *types.Package
+// regardless of the order targets are checked in. The single exception
+// is override: while an external test package is being checked, its
+// base package import resolves to the source-checked object instead
+// (export data does not carry in-package test declarations).
+type exportImporter struct {
+	exports      map[string]string
+	gc           types.Importer
+	overridePath string
+	override     *types.Package
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e.override != nil && path == e.overridePath {
+		return e.override, nil
+	}
+	return e.gc.Import(path)
+}
+
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	f, ok := e.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q (not in the `go list -test -deps` closure)", path)
+	}
+	return os.Open(f)
+}

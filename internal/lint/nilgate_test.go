@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"htmcmp/internal/lint"
+	"htmcmp/internal/lint/linttest"
+)
+
+func TestNilgate(t *testing.T) {
+	linttest.Check(t, fixtureDir,
+		[]*lint.Analyzer{lint.NilgateAnalyzer}, "./internal/mem")
+}
+
+// TestNilgateExemptsProviders: the packages that implement the hooks
+// dereference them freely without findings.
+func TestNilgateExemptsProviders(t *testing.T) {
+	diags := linttest.Findings(t, fixtureDir,
+		[]*lint.Analyzer{lint.NilgateAnalyzer}, "./internal/obs", "./internal/chaos")
+	for _, d := range diags {
+		t.Errorf("nilgate fired in a provider package: %s", d)
+	}
+}

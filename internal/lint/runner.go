@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Run executes the given analyzers over the loaded packages, applies the
+// //htmlint:allow directives, and returns the surviving findings sorted
+// by position. Malformed directives and allow directives that suppressed
+// nothing are findings too (check name "directive").
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	ds := collectDirectives(pkgs)
+	out := ds.apply(raw)
+	enabled := map[string]bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	out = append(out, ds.unused(enabled)...)
+	out = append(out, ds.malformed...)
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// WriteText renders findings one per line in file:line:col format.
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders findings as a JSON array — the CI artifact format.
+// An empty run encodes as [] rather than null so consumers can always
+// range over the result.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ds)
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"htmcmp/internal/lint"
+	"htmcmp/internal/lint/linttest"
+)
+
+func TestTagpair(t *testing.T) {
+	linttest.Check(t, fixtureDir,
+		[]*lint.Analyzer{lint.TagpairAnalyzer}, "./internal/adapt")
+}

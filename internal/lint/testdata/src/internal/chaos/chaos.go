@@ -1,0 +1,11 @@
+// Package chaos mirrors the fault-injection provider; like obs it is
+// exempt from nilgate.
+package chaos
+
+type Injector struct{ seed uint64 }
+
+func (i *Injector) Arm(s uint64) { i.seed = s }
+
+type Stream struct{ cursor int }
+
+func (s *Stream) Next() int { s.cursor++; return s.cursor }

@@ -1,0 +1,26 @@
+// Package obs mirrors the shape of the real instrumentation provider:
+// it declares the hook types and is therefore exempt from nilgate — its
+// own internals manipulate the handles freely.
+package obs
+
+type Tracer struct{ n int }
+
+func (t *Tracer) Emit(v int) { t.n += v }
+
+type Ring struct{ buf []int }
+
+func (r *Ring) Push(v int) { r.buf = append(r.buf, v) }
+
+type EngineMetrics struct{ Aborts uint64 }
+
+func (m *EngineMetrics) Add(v uint64) { m.Aborts += v }
+
+type Telemetry struct{ events int }
+
+func (t *Telemetry) Observe() { t.events++ }
+
+// hub dereferences a hook field with no nil check; the provider-package
+// exemption means this is not a finding.
+type hub struct{ t *Tracer }
+
+func (h *hub) relay(v int) { h.t.Emit(v) }

@@ -1,0 +1,58 @@
+// Package tm exercises the atomic/plain mixed-access check on shared
+// counters of a simulated engine.
+package tm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type engine struct {
+	mu      sync.Mutex
+	aborts  uint64
+	commits atomic.Uint64
+	retries uint64
+}
+
+func (e *engine) abort() {
+	atomic.AddUint64(&e.aborts, 1)
+}
+
+func (e *engine) snapshot() uint64 {
+	return e.aborts // want atomicmix:"engine.aborts is accessed via sync/atomic elsewhere"
+}
+
+// drain reads and resets the counter under the mutex; a dominating lock
+// makes the plain access legitimate.
+func (e *engine) drain() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.aborts
+	e.aborts = 0
+	return v
+}
+
+// quiesce documents a single-threaded phase instead of locking.
+func (e *engine) quiesce() {
+	e.aborts = 0 //htmlint:allow atomicmix -- epoch boundary, no concurrent accessors
+}
+
+func (e *engine) commit() {
+	e.commits.Add(1)
+}
+
+func (e *engine) copyCounter() atomic.Uint64 {
+	return e.commits // want atomicmix:"engine.commits has atomic type"
+}
+
+// share hands out the address; the location stays shared, so this is
+// not a copy.
+func (e *engine) share() *atomic.Uint64 {
+	return &e.commits
+}
+
+// retry touches a counter that is never accessed atomically; plain
+// access is fine.
+func (e *engine) retry() {
+	e.retries++
+}

@@ -1,0 +1,9 @@
+// Package trace declares a struct on the required list without the
+// cachekey marker.
+package trace
+
+// Options configures a replay; it feeds cache keys but is unmarked.
+type Options struct { // want cachekey:"must carry a //htmlint:cachekey marker"
+	Scale int
+	Seed  uint64
+}

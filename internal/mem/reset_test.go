@@ -1,15 +1,16 @@
 package mem
 
 import (
-	"math/rand"
 	"sync"
 	"testing"
+
+	"htmcmp/internal/prng"
 )
 
 // allocScript drives an identical mixed alloc/free sequence against a Space
 // and returns every address handed out, in order.
 func allocScript(s *Space) []Addr {
-	rng := rand.New(rand.NewSource(7))
+	rng := prng.New(7)
 	var addrs []Addr
 	var liveAddrs []Addr
 	for i := 0; i < 400; i++ {
@@ -98,7 +99,7 @@ func TestConcurrentArenaAlloc(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(id)))
+			rng := prng.New(uint64(id))
 			var live []Addr
 			for i := 0; i < 2000; i++ {
 				if len(live) > 32 || (len(live) > 0 && rng.Intn(4) == 0) {

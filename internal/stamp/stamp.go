@@ -213,7 +213,7 @@ func Names() []string {
 	}
 	// Append any extras deterministically (future benchmarks).
 	var extra []string
-	for n := range registry {
+	for n := range registry { //htmlint:allow determinism -- iteration order is normalised by the sort.Strings below
 		found := false
 		for _, o := range order {
 			if n == o {

@@ -13,9 +13,10 @@ import (
 // waitFor polls cond (with a generous timeout) while other goroutines run.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
+	//htmlint:allow determinism -- real wall-clock timeout around live goroutines, not simulated time
 	deadline := time.Now().Add(5 * time.Second)
 	for !cond() {
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //htmlint:allow determinism -- same wall-clock poll as above
 			t.Fatal("condition not reached within timeout")
 		}
 		runtime.Gosched()

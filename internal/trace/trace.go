@@ -49,7 +49,12 @@ type Collector interface {
 	Collect(bench string, k platform.Kind, opts Options) (Footprint, error)
 }
 
-// Options configure a trace collection.
+// Options configure a trace collection. The JSON encoding feeds sweep
+// cache keys (footprint cells embed it), so runtime-only fields carry
+// json:"-" and new serialized fields must be ,omitempty; Scale and Seed
+// predate the lint and are frozen into existing keys.
+//
+//htmlint:cachekey frozen=Scale,Seed
 type Options struct {
 	Scale stamp.Scale
 	Seed  uint64

@@ -171,7 +171,7 @@ func TestHashtableRandomOracle(t *testing.T) {
 	if len(got) != len(oracle) {
 		t.Fatalf("Each visited %d entries, oracle %d", len(got), len(oracle))
 	}
-	for k, v := range oracle {
+	for k, v := range oracle { //htmlint:allow determinism -- map-vs-map comparison, order-insensitive
 		if got[k] != v {
 			t.Fatalf("Each mismatch at %d: %d vs %d", k, got[k], v)
 		}
